@@ -1,0 +1,227 @@
+// Package aqv is the public API of this library — a reproduction of
+// "Answering Queries Using Views" (Levy, Mendelzon, Sagiv, Srivastava,
+// PODS 1995) together with the algorithms the paper founded: equivalent
+// rewriting search, and the Bucket, MiniCon and inverse-rules procedures
+// for maximally-contained rewritings.
+//
+// The facade re-exports the stable parts of the internal packages so that
+// applications need a single import:
+//
+//	import aqv "repro"
+//
+//	q := aqv.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+//	vs := aqv.MustNewViewSet(aqv.MustParseQuery("v(A,B) :- r(A,C), s(C,B)"))
+//	rw := aqv.NewRewriter(vs).RewriteOne(q)  // q(X,Y) :- v(X,Y).
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package aqv
+
+import (
+	"repro/internal/bucket"
+	"repro/internal/certain"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/inverserules"
+	"repro/internal/minicon"
+	"repro/internal/storage"
+)
+
+// Query model (see internal/cq).
+type (
+	// Query is a conjunctive query with optional comparison predicates.
+	Query = cq.Query
+	// Atom is a relational atom.
+	Atom = cq.Atom
+	// Term is a variable or constant.
+	Term = cq.Term
+	// Comparison is an arithmetic comparison predicate.
+	Comparison = cq.Comparison
+	// Union is a union of conjunctive queries.
+	Union = cq.Union
+	// Subst maps variable names to terms.
+	Subst = cq.Subst
+	// Program is a parsed set of rules and facts.
+	Program = cq.Program
+)
+
+// Parsing.
+var (
+	// ParseQuery parses one rule in datalog syntax.
+	ParseQuery = cq.ParseQuery
+	// MustParseQuery panics on parse errors; for literals.
+	MustParseQuery = cq.MustParseQuery
+	// ParseProgram parses rules and facts.
+	ParseProgram = cq.ParseProgram
+	// ParseViews parses a rules-only program.
+	ParseViews = cq.ParseViews
+	// Var builds a variable term.
+	Var = cq.Var
+	// Const builds a constant term.
+	Const = cq.Const
+	// NewAtom builds an atom.
+	NewAtom = cq.NewAtom
+	// NewQuery builds a query from head and body.
+	NewQuery = cq.NewQuery
+	// NewUnion builds a union of queries.
+	NewUnion = cq.NewUnion
+)
+
+// Containment, equivalence and minimisation (see internal/containment).
+var (
+	// Contained reports q2 ⊑ q1 (exact).
+	Contained = containment.Contained
+	// ContainedSound is the fast sound test under comparisons.
+	ContainedSound = containment.ContainedSound
+	// Equivalent reports q1 ≡ q2.
+	Equivalent = containment.Equivalent
+	// Minimize returns the core of a query.
+	Minimize = containment.Minimize
+	// ContainedInUnion reports q ⊑ u.
+	ContainedInUnion = containment.ContainedInUnion
+	// UnionContained reports u ⊑ q.
+	UnionContained = containment.UnionContained
+	// MinimizeUnion prunes subsumed members and minimises the rest.
+	MinimizeUnion = containment.MinimizeUnion
+)
+
+// Equivalent rewritings — the paper's core (see internal/core).
+type (
+	// ViewSet is a validated, named collection of view definitions.
+	ViewSet = core.ViewSet
+	// Rewriter searches for equivalent rewritings.
+	Rewriter = core.Rewriter
+	// Rewriting is a verified rewriting with its unfolding.
+	Rewriting = core.Rewriting
+	// RewriteOptions configures the rewriting search.
+	RewriteOptions = core.Options
+	// RewriteStats reports search work.
+	RewriteStats = core.Stats
+)
+
+var (
+	// NewViewSet validates and indexes views.
+	NewViewSet = core.NewViewSet
+	// MustNewViewSet panics on invalid views.
+	MustNewViewSet = core.MustNewViewSet
+	// NewRewriter builds a rewriter with default options.
+	NewRewriter = core.NewRewriter
+	// Expand unfolds view atoms into their definitions.
+	Expand = core.Expand
+	// VerifyRewriting checks a candidate rewriting from scratch.
+	VerifyRewriting = core.VerifyRewriting
+	// Usable reports whether a view can participate in an equivalent
+	// rewriting of the query.
+	Usable = core.Usable
+)
+
+// AllRewritings asks Rewriter.Rewrite for exhaustive enumeration.
+const AllRewritings = core.AllRewritings
+
+// Maximally-contained rewriting algorithms.
+type (
+	// BucketOptions configures the Bucket algorithm.
+	BucketOptions = bucket.Options
+	// BucketStats reports Bucket work.
+	BucketStats = bucket.Stats
+	// MiniConOptions configures MiniCon.
+	MiniConOptions = minicon.Options
+	// MiniConStats reports MiniCon work.
+	MiniConStats = minicon.Stats
+)
+
+var (
+	// BucketRewrite runs the Bucket algorithm.
+	BucketRewrite = bucket.Rewrite
+	// MiniConRewrite runs the MiniCon algorithm.
+	MiniConRewrite = minicon.Rewrite
+	// InverseRulesProgram builds the Skolemised datalog program.
+	InverseRulesProgram = inverserules.Program
+	// InverseRulesAnswer answers a query over view extents via inverse
+	// rules.
+	InverseRulesAnswer = inverserules.Answer
+)
+
+// Storage and evaluation (see internal/storage, internal/datalog).
+type (
+	// Database is an in-memory relational database.
+	Database = storage.Database
+	// Relation is a named set of tuples.
+	Relation = storage.Relation
+	// Tuple is a row of constant values.
+	Tuple = storage.Tuple
+)
+
+var (
+	// NewDatabase creates an empty database.
+	NewDatabase = storage.NewDatabase
+	// ReadDatabase parses datalog facts into a new database.
+	ReadDatabase = storage.ReadDatabase
+	// EvalQuery evaluates a conjunctive query.
+	EvalQuery = datalog.EvalQuery
+	// EvalUnion evaluates a union of conjunctive queries.
+	EvalUnion = datalog.EvalUnion
+	// MaterializeViews evaluates views over a base database into a
+	// view-extent database.
+	MaterializeViews = datalog.MaterializeViews
+	// TuplesEqual compares answer sets regardless of order.
+	TuplesEqual = storage.TuplesEqual
+	// Explain returns the execution plan EvalQuery would use.
+	Explain = datalog.Explain
+)
+
+// Plan describes a query execution plan (see Explain).
+type Plan = datalog.Plan
+
+// Certain answers (see internal/certain).
+type (
+	// CertainReport summarises a certain-answer comparison.
+	CertainReport = certain.Report
+)
+
+var (
+	// CertainViaMiniCon computes certain answers via the MiniCon MCR.
+	CertainViaMiniCon = certain.ViaMiniCon
+	// CertainViaInverseRules computes certain answers via inverse rules.
+	CertainViaInverseRules = certain.ViaInverseRules
+	// CertainCompare cross-checks both routes against direct evaluation.
+	CertainCompare = certain.Compare
+)
+
+// Minimal rewritings and shortening analysis (paper R4).
+type (
+	// Shortening reports how much views can shorten a query.
+	Shortening = core.Shortening
+)
+
+var (
+	// LocallyMinimal reports whether a rewriting can lose no subgoal.
+	LocallyMinimal = core.LocallyMinimal
+	// MinimizeRewriting removes redundant subgoals from a rewriting.
+	MinimizeRewriting = core.MinimizeRewriting
+	// GloballyMinimal filters a result set to the shortest rewritings.
+	GloballyMinimal = core.GloballyMinimal
+	// BestShortening reports the best achievable subgoal reduction.
+	BestShortening = core.BestShortening
+)
+
+// Cost-based plan choice (see internal/cost).
+type (
+	// Catalog holds relation statistics for cost estimation.
+	Catalog = cost.Catalog
+	// CostEstimate is the estimated work of evaluating one query.
+	CostEstimate = cost.Estimate
+)
+
+var (
+	// NewCatalog derives statistics from a database.
+	NewCatalog = cost.NewCatalog
+	// EstimateQuery costs a conjunctive query.
+	EstimateQuery = cost.EstimateQuery
+	// EstimateUnion costs a union of conjunctive queries.
+	EstimateUnion = cost.EstimateUnion
+	// ChoosePlan returns the cheapest candidate under the catalog.
+	ChoosePlan = cost.Choose
+)

@@ -1,0 +1,323 @@
+// Benchmarks backing the experiment suite in DESIGN.md Section 5. Each
+// benchmark regenerates one table/figure workload under testing.B; the
+// formatted tables themselves come from cmd/aqvbench (same workloads, same
+// seeds).
+package aqv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/experiments"
+	"repro/internal/inverserules"
+	"repro/internal/minicon"
+	"repro/internal/workload"
+)
+
+// BenchmarkT1RewritingLengthBound exercises the bounded-length rewriting
+// search (paper R2) on a chain workload.
+func BenchmarkT1RewritingLengthBound(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			q := workload.ChainQuery(n, true)
+			views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(3*n))
+			vs, err := core.NewViewSet(views...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := core.NewRewriter(vs)
+				r.Opt.MaxResults = core.AllRewritings
+				r.Rewrite(q)
+			}
+		})
+	}
+}
+
+// BenchmarkT2ExistenceScaling measures the usability decision on the easy
+// (chain) and hard (clique-pattern) families (paper R3).
+func BenchmarkT2ExistenceScaling(b *testing.B) {
+	for _, k := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("easy/k=%d", k), func(b *testing.B) {
+			v, q := workload.EasyUsabilityInstance(k, 12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Usable(v, q)
+			}
+		})
+		b.Run(fmt.Sprintf("hard/k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			v, q := workload.HardUsabilityInstance(rng, k, 12, 0.35)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Usable(v, q)
+			}
+		})
+	}
+}
+
+// BenchmarkT3Usability measures per-view usability across view-set sizes.
+func BenchmarkT3Usability(b *testing.B) {
+	q := workload.ChainQuery(8, true)
+	for _, m := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(3))
+		views := workload.ChainViews(rng, 8, true, workload.DefaultViewSpec(m))
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Usable(views[i%len(views)], q)
+			}
+		})
+	}
+}
+
+// BenchmarkT4Containment measures the containment-mapping engine.
+func BenchmarkT4Containment(b *testing.B) {
+	families := map[string]func(int) *cq.Query{
+		"chain": func(n int) *cq.Query { return workload.ChainQuery(n, false) },
+		"star":  func(n int) *cq.Query { return workload.StarQuery(n, false) },
+	}
+	for name, gen := range families {
+		for _, n := range []int{4, 8, 12} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				q1 := gen(n)
+				q2 := q1.Clone()
+				q2.Body = append(q2.Body, q2.Body[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					containment.Contained(q2, q1)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkT5ComparisonContainment contrasts the sound and complete tests
+// under comparisons (paper R5).
+func BenchmarkT5ComparisonContainment(b *testing.B) {
+	q1 := cq.MustParseQuery("q(X0,X2) :- p1(X0,X1), p2(X1,X2), X0 <= X1")
+	q2 := cq.MustParseQuery("q(X0,X2) :- p1(X0,X1), p2(X1,X2), X0 <= X1, X1 <= X2")
+	b.Run("sound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			containment.ContainedSound(q2, q1)
+		}
+	})
+	b.Run("complete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			containment.ContainedComplete(q2, q1)
+		}
+	})
+}
+
+// benchRace runs one rewriting algorithm over a prepared workload.
+func benchRace(b *testing.B, q *cq.Query, views []*cq.Query, algo string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RaceOne(q, views, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF1ChainViews races Bucket vs MiniCon on chain queries.
+func BenchmarkF1ChainViews(b *testing.B) {
+	q := workload.ChainQuery(8, true)
+	spec := workload.ViewSpec{MinLen: 2, MaxLen: 4, ExposeEndpoints: true, ExposeProb: 0}
+	for _, m := range []int{8, 16, 32} {
+		rng := rand.New(rand.NewSource(11))
+		spec.Count = m
+		views := workload.ChainViews(rng, 8, true, spec)
+		for _, algo := range []string{"bucket", "minicon"} {
+			b.Run(fmt.Sprintf("%s/m=%d", algo, m), func(b *testing.B) {
+				benchRace(b, q, views, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkF2StarViews races Bucket vs MiniCon on star queries.
+func BenchmarkF2StarViews(b *testing.B) {
+	q := workload.StarQuery(6, true)
+	spec := workload.ViewSpec{MinLen: 1, MaxLen: 2, ExposeEndpoints: true, ExposeProb: 1}
+	for _, m := range []int{8, 16} {
+		rng := rand.New(rand.NewSource(12))
+		spec.Count = m
+		views := workload.StarViews(rng, 6, true, spec)
+		for _, algo := range []string{"bucket", "minicon"} {
+			b.Run(fmt.Sprintf("%s/m=%d", algo, m), func(b *testing.B) {
+				benchRace(b, q, views, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkF3CompleteViews races Bucket vs MiniCon on complete queries.
+func BenchmarkF3CompleteViews(b *testing.B) {
+	q := workload.CompleteQuery(4)
+	for _, m := range []int{4, 8} {
+		rng := rand.New(rand.NewSource(13))
+		views := workload.CompleteViews(rng, 4, workload.ViewSpec{
+			Count: m, MinLen: 2, MaxLen: 3, ExposeProb: 1,
+		})
+		for _, algo := range []string{"bucket", "minicon"} {
+			b.Run(fmt.Sprintf("%s/m=%d", algo, m), func(b *testing.B) {
+				benchRace(b, q, views, algo)
+			})
+		}
+	}
+}
+
+// BenchmarkF4InverseRulesEval compares end-to-end answering: inverse rules
+// vs evaluating the MiniCon rewriting.
+func BenchmarkF4InverseRulesEval(b *testing.B) {
+	const n = 5
+	q := workload.ChainQuery(n, true)
+	views := []*cq.Query{
+		cq.MustParseQuery("v0(Y0,Y2) :- p1(Y0,Y1), p2(Y1,Y2)"),
+		cq.MustParseQuery("v1(Y2,Y4) :- p3(Y2,Y3), p4(Y3,Y4)"),
+		cq.MustParseQuery("v2(Y4,Y5) :- p5(Y4,Y5)"),
+	}
+	vs := core.MustNewViewSet(views...)
+	for _, size := range []int{100, 400, 1600} {
+		rng := rand.New(rand.NewSource(int64(14 + size)))
+		base := workload.ChainDatabase(rng, n, true, size, size/4+2)
+		viewDB, err := datalog.MaterializeViews(base, views)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, _, err := minicon.Rewrite(q, vs, minicon.Options{VerifyCandidates: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("minicon_eval/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				datalog.EvalUnion(viewDB, u)
+			}
+		})
+		b.Run(fmt.Sprintf("invrules/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inverserules.Answer(q, views, viewDB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("direct/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				datalog.EvalQuery(base, q)
+			}
+		})
+	}
+}
+
+// BenchmarkF5CertainAnswers measures the full certain-answer pipeline.
+func BenchmarkF5CertainAnswers(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	n := 3
+	q := workload.ChainQuery(n, true)
+	views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(6))
+	base := workload.ChainDatabase(rng, n, true, 50, 8)
+	viewDB, err := datalog.MaterializeViews(base, views)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("minicon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := certainViaMiniCon(q, views, viewDB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("invrules", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inverserules.Answer(q, views, viewDB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// certainViaMiniCon mirrors certain.ViaMiniCon without importing the
+// package under its exported name twice.
+func certainViaMiniCon(q *cq.Query, views []*cq.Query, viewDB *Database) ([]Tuple, error) {
+	return CertainViaMiniCon(q, views, viewDB)
+}
+
+// BenchmarkF6Minimization is the minimisation ablation.
+func BenchmarkF6Minimization(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	n := 5
+	q := workload.ChainQuery(n, true)
+	red := q.Clone()
+	for i := 0; i < n; i++ {
+		a := q.Body[rng.Intn(n)].Clone()
+		a.Args[1] = cq.Var(fmt.Sprintf("R%d", i))
+		red.Body = append(red.Body, a)
+	}
+	views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(2*n))
+	vs, err := core.NewViewSet(views...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with_minimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := core.NewRewriter(vs)
+			r.Rewrite(red)
+		}
+	})
+	b.Run("skip_minimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := core.NewRewriter(vs)
+			r.Opt.SkipMinimize = true
+			r.Rewrite(red)
+		}
+	})
+}
+
+// BenchmarkCoreMicro covers the hot primitive operations.
+func BenchmarkCoreMicro(b *testing.B) {
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cq.ParseQuery("q(X,Y) :- r(X,Z), s(Z,Y), Z < 5"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("minimize", func(b *testing.B) {
+		q := cq.MustParseQuery("q(X) :- r(X,Y), r(X,Z), r(X,W)")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			containment.Minimize(q)
+		}
+	})
+	b.Run("expand", func(b *testing.B) {
+		vs := core.MustNewViewSet(cq.MustParseQuery("v(A,B) :- r(A,C), s(C,B)"))
+		q := cq.MustParseQuery("q(X,Y) :- v(X,Y)")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Expand(q, vs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bucket_small", func(b *testing.B) {
+		q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+		vs := core.MustNewViewSet(
+			cq.MustParseQuery("v1(A,B) :- r(A,B)"),
+			cq.MustParseQuery("v2(A,B) :- s(A,B)"),
+		)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bucket.Rewrite(q, vs, bucket.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

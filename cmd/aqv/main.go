@@ -1,0 +1,249 @@
+// Command aqv rewrites conjunctive queries using views and optionally
+// evaluates the result over data, from datalog-syntax text files.
+//
+// Usage:
+//
+//	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse]
+//	    [-data facts.dl] [-all] [-partial] [-stats]
+//
+// The query file holds one rule; the views file holds one rule per view.
+// The optional data file holds ground facts for the *base* relations; view
+// extents are materialised from it before evaluation.
+//
+// Example:
+//
+//	$ cat query.dl
+//	q(X,Y) :- r(X,Z), s(Z,Y).
+//	$ cat views.dl
+//	v(A,B) :- r(A,C), s(C,B).
+//	$ aqv -query query.dl -views views.dl
+//	q(X,Y) :- v(X,Y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aqv "repro"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aqv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("aqv", flag.ContinueOnError)
+	queryPath := fs.String("query", "", "file containing the query rule")
+	viewsPath := fs.String("views", "", "file containing view definitions")
+	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
+	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse")
+	all := fs.Bool("all", false, "enumerate all equivalent rewritings (equivalent only)")
+	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms (equivalent only)")
+	stats := fs.Bool("stats", false, "print search statistics")
+	explain := fs.Bool("explain", false, "print the execution plan of the chosen rewriting (needs -data)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryPath == "" || *viewsPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-query and -views are required")
+	}
+
+	q, err := loadQuery(*queryPath)
+	if err != nil {
+		return err
+	}
+	views, err := loadViews(*viewsPath)
+	if err != nil {
+		return err
+	}
+	vs, err := aqv.NewViewSet(views...)
+	if err != nil {
+		return err
+	}
+
+	var base *aqv.Database
+	if *dataPath != "" {
+		base, err = loadData(*dataPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch *algo {
+	case "equivalent":
+		return runEquivalent(out, q, views, vs, base, *all, *partial, *stats, *explain)
+	case "bucket":
+		u, st, err := aqv.BucketRewrite(q, vs, aqv.BucketOptions{KeepComparisons: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, u.String())
+		if *stats {
+			fmt.Fprintf(out, "%% buckets=%v combinations=%d kept=%d\n", st.BucketSizes, st.Combinations, st.Kept)
+		}
+		return evalUnionIfData(out, u, views, base)
+	case "minicon":
+		u, st, err := aqv.MiniConRewrite(q, vs, aqv.MiniConOptions{VerifyCandidates: true, KeepComparisons: true})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, u.String())
+		if *stats {
+			fmt.Fprintf(out, "%% mcds=%d combinations=%d kept=%d\n", st.MCDs, st.Combinations, st.Kept)
+		}
+		return evalUnionIfData(out, u, views, base)
+	case "inverse":
+		prog, err := aqv.InverseRulesProgram(q, views)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, prog.String())
+		if base != nil {
+			viewDB, err := aqv.MaterializeViews(base, views)
+			if err != nil {
+				return err
+			}
+			answers, err := aqv.InverseRulesAnswer(q, views, viewDB)
+			if err != nil {
+				return err
+			}
+			printAnswers(out, q.Name(), answers)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+}
+
+func runEquivalent(out *os.File, q *aqv.Query, views []*aqv.Query, vs *aqv.ViewSet, base *aqv.Database, all, partial, stats, explain bool) error {
+	r := aqv.NewRewriter(vs)
+	r.Opt.AllowPartial = partial
+	r.Opt.KeepComparisons = true
+	if all {
+		r.Opt.MaxResults = aqv.AllRewritings
+	}
+	results, st := r.Rewrite(q)
+	if len(results) == 0 {
+		fmt.Fprintln(out, "% no equivalent rewriting exists for the given views")
+	}
+	for _, rw := range results {
+		kind := "complete"
+		if !rw.Complete {
+			kind = "partial"
+		}
+		fmt.Fprintf(out, "%s  %% %s\n", rw.Query.String(), kind)
+	}
+	if stats {
+		fmt.Fprintf(out, "%% applications=%d valid=%d candidates=%d equivalence_checks=%d\n",
+			st.Applications, st.ValidApplications, st.CandidatesTried, st.EquivalenceChecks)
+	}
+	if base != nil && len(results) > 0 {
+		// Build the execution database: view extents plus base relations
+		// (partial rewritings read both).
+		merged := base.Clone()
+		for _, v := range views {
+			if err := datalog.MaterializeView(base, v, merged); err != nil {
+				return err
+			}
+		}
+		// Choose the cheapest rewriting under the catalog statistics.
+		candidates := make([]*aqv.Query, len(results))
+		for i, rw := range results {
+			candidates[i] = rw.Query
+		}
+		best, estimates := aqv.ChoosePlan(aqv.NewCatalog(merged), candidates)
+		if stats && len(candidates) > 1 {
+			fmt.Fprintf(out, "%% cost model chose plan %d (cost %.0f)\n", best, estimates[best].Cost)
+		}
+		if explain {
+			fmt.Fprintf(out, "%% plan:\n%s", aqv.Explain(merged, candidates[best]))
+		}
+		answers := aqv.EvalQuery(merged, candidates[best])
+		printAnswers(out, q.Name(), answers)
+	}
+	return nil
+}
+
+func evalUnionIfData(out *os.File, u *aqv.Union, views []*aqv.Query, base *aqv.Database) error {
+	if base == nil || u.Len() == 0 {
+		return nil
+	}
+	viewDB, err := aqv.MaterializeViews(base, views)
+	if err != nil {
+		return err
+	}
+	printAnswers(out, u.Queries[0].Name(), aqv.EvalUnion(viewDB, u))
+	return nil
+}
+
+func printAnswers(out *os.File, name string, answers []aqv.Tuple) {
+	fmt.Fprintf(out, "%% %d answer(s):\n", len(answers))
+	for _, t := range answers {
+		fmt.Fprintf(out, "%s(", name)
+		for i, v := range t {
+			if i > 0 {
+				fmt.Fprint(out, ",")
+			}
+			fmt.Fprint(out, v)
+		}
+		fmt.Fprintln(out, ").")
+	}
+}
+
+func loadQuery(path string) (*aqv.Query, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	q, err := aqv.ParseQuery(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func loadViews(path string) ([]*cq.Query, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	views, err := aqv.ParseViews(string(data))
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return views, nil
+}
+
+func loadData(path string) (*aqv.Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := aqv.ParseProgram(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Queries) > 0 {
+		return nil, fmt.Errorf("data file %s contains rules; only ground facts are allowed", path)
+	}
+	db := aqv.NewDatabase()
+	if err := db.LoadFacts(prog.Facts); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

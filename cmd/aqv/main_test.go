@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := run(args, tmp); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunEquivalent(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-stats"})
+	if !strings.Contains(out, "q(X,Y) :- v(X,Y).") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "applications=") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestRunEquivalentWithData(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-data", df})
+	if !strings.Contains(out, "q(a,x).") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-data", df, "-explain"})
+	if !strings.Contains(out, "plan:") || !strings.Contains(out, "component 0") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunNoRewriting(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A) :- r(A,C).")
+	out := capture(t, []string{"-query", qf, "-views", vf})
+	if !strings.Contains(out, "no equivalent rewriting") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunMiniConAndBucket(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X,Z), s(Z).")
+	vf := writeFile(t, dir, "v.dl", "v1(A,B) :- r(A,B). v2(A) :- s(A).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m).")
+	for _, algo := range []string{"minicon", "bucket"} {
+		out := capture(t, []string{"-query", qf, "-views", vf, "-data", df, "-algo", algo, "-stats"})
+		if !strings.Contains(out, "q(a).") {
+			t.Fatalf("%s output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestRunInverse(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X,Z).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-data", df, "-algo", "inverse"})
+	if !strings.Contains(out, "r(A,B) :- v(A,B).") || !strings.Contains(out, "q(a).") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunPartial(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,B).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-partial"})
+	if !strings.Contains(out, "partial") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X).")
+	vf := writeFile(t, dir, "v.dl", "v(A) :- r(A).")
+	bad := writeFile(t, dir, "bad.dl", "not valid ((")
+	rules := writeFile(t, dir, "rules.dl", "p(X) :- r(X).")
+	cases := [][]string{
+		{},
+		{"-query", qf},
+		{"-query", filepath.Join(dir, "missing.dl"), "-views", vf},
+		{"-query", bad, "-views", vf},
+		{"-query", qf, "-views", bad},
+		{"-query", qf, "-views", vf, "-algo", "nope"},
+		{"-query", qf, "-views", vf, "-data", rules},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, args := range cases {
+		if err := run(args, devnull); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command aqvbench regenerates the experiment tables and figure series
+// defined in DESIGN.md Section 5 (the 1995 paper is theory-only; these
+// experiments validate its theorems and reproduce the canonical evaluation
+// of the algorithms it founded).
+//
+// Usage:
+//
+//	aqvbench            # run every experiment
+//	aqvbench -exp F1    # run one experiment
+//	aqvbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aqvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aqvbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (T1..T5, F1..F6) or 'all'")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return nil
+	}
+	if strings.EqualFold(*exp, "all") {
+		for _, id := range experiments.IDs() {
+			run, _ := experiments.ByID(id)
+			fmt.Println(run().Render())
+		}
+		return nil
+	}
+	run, ok := experiments.ByID(*exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	fmt.Println(run().Render())
+	return nil
+}

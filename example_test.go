@@ -1,0 +1,84 @@
+package aqv_test
+
+import (
+	"fmt"
+
+	aqv "repro"
+)
+
+// The headline use: rewrite a query to use a materialised view.
+func Example() {
+	q := aqv.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	view := aqv.MustParseQuery("v(A,B) :- r(A,C), s(C,B)")
+	vs := aqv.MustNewViewSet(view)
+
+	rw := aqv.NewRewriter(vs).RewriteOne(q)
+	fmt.Println(rw.Query)
+	// Output: q(X,Y) :- v(X,Y).
+}
+
+// Containment and equivalence of conjunctive queries (Chandra–Merlin).
+func ExampleContained() {
+	special := aqv.MustParseQuery("q(X) :- e(X,Y), e(Y,Z)")
+	general := aqv.MustParseQuery("q(X) :- e(X,Y)")
+	fmt.Println(aqv.Contained(special, general))
+	fmt.Println(aqv.Contained(general, special))
+	// Output:
+	// true
+	// false
+}
+
+// Minimisation removes redundant subgoals (the core of the query).
+func ExampleMinimize() {
+	q := aqv.MustParseQuery("q(X) :- r(X,Y), r(X,Z), r(X,W)")
+	fmt.Println(aqv.Minimize(q))
+	// Output: q(X) :- r(X,W).
+}
+
+// A maximally-contained rewriting collects every way the views can
+// contribute answers.
+func ExampleMiniConRewrite() {
+	q := aqv.MustParseQuery("q(X) :- r(X,Z), s(Z)")
+	vs := aqv.MustNewViewSet(
+		aqv.MustParseQuery("v1(A,B) :- r(A,B)"),
+		aqv.MustParseQuery("v2(A) :- s(A)"),
+	)
+	u, _, _ := aqv.MiniConRewrite(q, vs, aqv.MiniConOptions{VerifyCandidates: true})
+	fmt.Println(u)
+	// Output: q(X) :- v1(X,Z), v2(Z).
+}
+
+// Inverse rules reconstruct base relations from view extents using Skolem
+// terms for the views' existential variables.
+func ExampleInverseRulesProgram() {
+	q := aqv.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	views := []*aqv.Query{aqv.MustParseQuery("v(A,B) :- r(A,C), s(C,B)")}
+	prog, _ := aqv.InverseRulesProgram(q, views)
+	fmt.Println(prog)
+	// Output:
+	// r(A,f_v_C(A,B)) :- v(A,B).
+	// s(f_v_C(A,B),B) :- v(A,B).
+	// q(X,Y) :- r(X,Z), s(Z,Y).
+}
+
+// Usability: can a view appear in some equivalent rewriting of the query?
+func ExampleUsable() {
+	q := aqv.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	exposes := aqv.MustParseQuery("v1(A,C) :- r(A,C)")
+	hides := aqv.MustParseQuery("v2(A) :- r(A,C)")
+	fmt.Println(aqv.Usable(exposes, q))
+	fmt.Println(aqv.Usable(hides, q))
+	// Output:
+	// true
+	// false
+}
+
+// Evaluating queries over an in-memory database.
+func ExampleEvalQuery() {
+	db := aqv.NewDatabase()
+	prog, _ := aqv.ParseProgram("e(a,b). e(b,c).")
+	_ = db.LoadFacts(prog.Facts)
+	answers := aqv.EvalQuery(db, aqv.MustParseQuery("q(X,Z) :- e(X,Y), e(Y,Z)"))
+	fmt.Println(answers)
+	// Output: [[a c]]
+}

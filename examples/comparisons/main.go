@@ -1,0 +1,89 @@
+// Comparison predicates: the paper's Section on queries with arithmetic
+// comparisons shows rewriting gets harder — and subtler — once queries and
+// views carry range conditions. This example walks through the three
+// regimes:
+//
+//  1. the view's filter matches the query's: a clean rewriting exists;
+//  2. the view's filter is weaker: the rewriting must re-assert the
+//     query's comparison on the view's output;
+//  3. the view's filter is stronger: no equivalent rewriting exists (and
+//     the engine proves it).
+//
+// It also demonstrates the containment machinery the decisions rest on,
+// including the classical example where the fast sound test is incomplete
+// and the exponential complete test is required.
+//
+// Run with: go run ./examples/comparisons
+package main
+
+import (
+	"fmt"
+	"log"
+
+	aqv "repro"
+)
+
+func main() {
+	q := aqv.MustParseQuery("q(P) :- listing(P,Price), Price < 500")
+	fmt.Println("query:", q)
+
+	// Regime 1: exact filter match.
+	exact := aqv.MustParseQuery("cheap(P) :- listing(P,Price), Price < 500")
+	demo("view with matching filter", q, exact, false)
+
+	// Regime 2: weaker view; rewriting must keep the comparison. The view
+	// must expose the price column for that to be possible.
+	weaker := aqv.MustParseQuery("all(P,Price) :- listing(P,Price)")
+	demo("view without filter (re-assert comparison)", q, weaker, true)
+
+	// Regime 3: stronger view filter — provably no equivalent rewriting.
+	stronger := aqv.MustParseQuery("veryCheap(P) :- listing(P,Price), Price < 100")
+	demo("view with stronger filter", q, stronger, true)
+
+	// The containment subtlety: a sound single-mapping test is not enough
+	// once comparisons interact with self-joins.
+	fmt.Println("\n--- containment with comparisons ---")
+	q1 := aqv.MustParseQuery("c() :- r(U,V), U <= V")
+	q2 := aqv.MustParseQuery("c() :- r(X,Y), r(Y,X)")
+	fmt.Println("q1:", q1)
+	fmt.Println("q2:", q2)
+	fmt.Println("sound single-mapping test says q2 ⊑ q1:", aqv.ContainedSound(q2, q1))
+	fmt.Println("complete linearisation test says q2 ⊑ q1:", aqv.Contained(q2, q1))
+	fmt.Println("(the complete test is exponential — the paper shows that is unavoidable)")
+}
+
+func demo(title string, q, view *aqv.Query, keepComparisons bool) {
+	fmt.Println("\n---", title, "---")
+	fmt.Println("view:", view)
+	vs, err := aqv.NewViewSet(view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := aqv.NewRewriter(vs)
+	r.Opt.KeepComparisons = keepComparisons
+	rw := r.RewriteOne(q)
+	if rw == nil {
+		fmt.Println("=> no equivalent rewriting exists")
+		return
+	}
+	fmt.Println("=> rewriting:", rw.Query)
+	fmt.Println("   unfolds to:", rw.Expansion)
+
+	// Sanity check on data.
+	base := aqv.NewDatabase()
+	prog, err := aqv.ParseProgram(`
+		listing(flat1,450). listing(flat2,900). listing(flat3,80).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := base.LoadFacts(prog.Facts); err != nil {
+		log.Fatal(err)
+	}
+	viewDB, err := aqv.MaterializeViews(base, []*aqv.Query{view})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("   direct:  ", aqv.EvalQuery(base, q))
+	fmt.Println("   via view:", aqv.EvalQuery(viewDB, rw.Query))
+}

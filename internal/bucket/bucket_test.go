@@ -1,0 +1,225 @@
+package bucket
+
+import (
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+func mustQ(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func viewSet(srcs ...string) *core.ViewSet {
+	vs := make([]*cq.Query, len(srcs))
+	for i, s := range srcs {
+		vs[i] = mustQ(s)
+	}
+	return core.MustNewViewSet(vs...)
+}
+
+func TestBucketsBasic(t *testing.T) {
+	q := mustQ("q(X,Y) :- r(X,Z), s(Z,Y)")
+	vs := viewSet(
+		"v1(A,B) :- r(A,B)",
+		"v2(A,B) :- s(A,B)",
+		"v3(A) :- t(A)",
+	)
+	buckets := Buckets(q, vs)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if len(buckets[0]) != 1 || buckets[0][0].View.Name() != "v1" {
+		t.Fatalf("bucket 0 = %v", buckets[0])
+	}
+	if len(buckets[1]) != 1 || buckets[1][0].View.Name() != "v2" {
+		t.Fatalf("bucket 1 = %v", buckets[1])
+	}
+}
+
+func TestBucketRejectsHiddenHeadVar(t *testing.T) {
+	q := mustQ("q(X,Y) :- r(X,Y)")
+	// The view projects Y away: cannot cover a subgoal needing head var Y.
+	vs := viewSet("v(A) :- r(A,B)")
+	buckets := Buckets(q, vs)
+	if len(buckets[0]) != 0 {
+		t.Fatalf("bucket should be empty: %v", buckets[0])
+	}
+}
+
+func TestBucketRejectsConstantOnExistential(t *testing.T) {
+	q := mustQ("q(X) :- r(X,5)")
+	vs := viewSet("v(A) :- r(A,B)")
+	buckets := Buckets(q, vs)
+	if len(buckets[0]) != 0 {
+		t.Fatalf("existential cannot enforce the constant: %v", buckets[0])
+	}
+	// A view exposing the column can.
+	vs2 := viewSet("w(A,B) :- r(A,B)")
+	buckets2 := Buckets(q, vs2)
+	if len(buckets2[0]) != 1 {
+		t.Fatalf("bucket = %v", buckets2[0])
+	}
+}
+
+func TestBucketAllowsExistentialJoinVar(t *testing.T) {
+	// Z is existential in q; a view hiding it still enters the bucket
+	// (the combination step decides usefulness).
+	q := mustQ("q(X) :- r(X,Z), s(Z)")
+	vs := viewSet("v(A) :- r(A,B)")
+	buckets := Buckets(q, vs)
+	if len(buckets[0]) != 1 {
+		t.Fatalf("bucket = %v", buckets[0])
+	}
+}
+
+func TestRewriteEquivalentCase(t *testing.T) {
+	q := mustQ("q(X,Y) :- r(X,Z), s(Z,Y)")
+	vs := viewSet("v1(A,B) :- r(A,B)", "v2(A,B) :- s(A,B)")
+	u, st, err := Rewrite(q, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() == 0 {
+		t.Fatal("no rewriting found")
+	}
+	exp, err := core.ExpandUnion(u, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containment.UnionContained(exp, q) {
+		t.Fatal("rewriting not contained in query")
+	}
+	if !containment.ContainedInUnion(q, exp) {
+		t.Fatal("rewriting should be equivalent here")
+	}
+	if st.Combinations == 0 || st.Kept == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRewriteEmptyWhenSubgoalUncoverable(t *testing.T) {
+	q := mustQ("q(X) :- r(X,Y), secret(Y)")
+	vs := viewSet("v(A,B) :- r(A,B)")
+	u, st, err := Rewrite(q, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 0 {
+		t.Fatalf("expected empty rewriting, got %v", u)
+	}
+	if st.Combinations != 0 {
+		t.Fatalf("combinations should not run: %+v", st)
+	}
+}
+
+func TestRewriteContainedOnly(t *testing.T) {
+	// Views are more specific than the query: the MCR is strictly
+	// contained.
+	q := mustQ("q(X) :- r(X,Y)")
+	vs := viewSet("v(A) :- r(A,A)")
+	u, _, err := Rewrite(q, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 {
+		t.Fatalf("union = %v", u)
+	}
+	exp, _ := core.ExpandUnion(u, vs)
+	if !containment.UnionContained(exp, q) {
+		t.Fatal("unsound rewriting")
+	}
+	if containment.ContainedInUnion(q, exp) {
+		t.Fatal("rewriting cannot be equivalent")
+	}
+}
+
+func TestRewriteDiscardsBadCombinations(t *testing.T) {
+	// v1 covers r but hides the join; v2 covers both subgoals correctly.
+	q := mustQ("q(X) :- r(X,Z), s(Z)")
+	vs := viewSet(
+		"v1(A) :- r(A,B)",
+		"v2(A) :- r(A,B), s(B)",
+	)
+	u, _, err := Rewrite(q, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 alone cannot join to s correctly; only combinations through v2
+	// survive the containment check.
+	for _, m := range u.Queries {
+		exp, _ := core.ExpandUnion(cq.NewUnion(m), vs)
+		if !containment.UnionContained(exp, q) {
+			t.Fatalf("unsound member %v", m)
+		}
+	}
+	if u.Len() == 0 {
+		t.Fatal("v2-based rewriting missed")
+	}
+}
+
+func TestRewriteMaxCombinations(t *testing.T) {
+	q := mustQ("q(X,Y) :- r(X,Z), s(Z,Y)")
+	vs := viewSet(
+		"v1(A,B) :- r(A,B)", "v2(A,B) :- r(A,B), t(A)",
+		"w1(A,B) :- s(A,B)", "w2(A,B) :- s(A,B), t(A)",
+	)
+	_, st, err := Rewrite(q, vs, Options{MaxCombinations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Combinations > 3 {
+		t.Fatalf("MaxCombinations ignored: %+v", st)
+	}
+}
+
+func TestRewriteWithComparisons(t *testing.T) {
+	q := mustQ("q(X) :- r(X,Y), X > 3")
+	vs := viewSet("v(A,B) :- r(A,B)")
+	u, _, err := Rewrite(q, vs, Options{KeepComparisons: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() == 0 {
+		t.Fatal("no rewriting with re-asserted comparison")
+	}
+	if len(u.Queries[0].Comparisons) != 1 {
+		t.Fatalf("comparison lost: %v", u.Queries[0])
+	}
+}
+
+func TestRewriteInvalidQuery(t *testing.T) {
+	bad := &cq.Query{Head: cq.NewAtom("q", cq.Var("X"))}
+	if _, _, err := Rewrite(bad, viewSet("v(A) :- r(A)"), Options{}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+// End-to-end: evaluating the bucket rewriting over view extents returns a
+// subset of the direct answers (soundness on data).
+func TestRewriteEvaluationSoundness(t *testing.T) {
+	base := storage.NewDatabase()
+	base.Insert("r", storage.Tuple{"a", "m"})
+	base.Insert("r", storage.Tuple{"b", "n"})
+	base.Insert("s", storage.Tuple{"m", "x"})
+	base.Insert("s", storage.Tuple{"n", "y"})
+	q := mustQ("q(X,Y) :- r(X,Z), s(Z,Y)")
+	views := []*cq.Query{mustQ("v1(A,B) :- r(A,B)"), mustQ("v2(A,B) :- s(A,B)")}
+	vs := core.MustNewViewSet(views...)
+
+	u, _, err := Rewrite(q, vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewDB, err := datalog.MaterializeViews(base, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := datalog.EvalUnion(viewDB, u)
+	want := datalog.EvalQuery(base, q)
+	if !storage.TuplesEqual(got, want) {
+		t.Fatalf("rewriting answers %v, direct %v", got, want)
+	}
+}

@@ -1,0 +1,238 @@
+package containment
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/cq"
+)
+
+// Contained reports whether q2 ⊑ q1, i.e. q2's answers are a subset of q1's
+// on every database. For pure conjunctive queries this is the Chandra–Merlin
+// containment-mapping test; when either query carries comparison predicates
+// the complete linearisation test is used (exponential in the number of
+// terms, per the paper's lower bound — see ContainedSound for the fast
+// incomplete variant).
+func Contained(q2, q1 *cq.Query) bool {
+	if len(q1.Comparisons) == 0 {
+		if len(q2.Comparisons) == 0 {
+			_, ok := FindMapping(q1, q2)
+			return ok
+		}
+		// q1 is comparison-free, so q2's comparisons matter only through
+		// the equalities they force and their satisfiability: merge
+		// provably-equal terms of q2, then run the pure mapping test.
+		// This avoids the exponential linearisation enumeration.
+		norm, sat := mergeForcedEqualities(q2)
+		if !sat {
+			return true
+		}
+		_, ok := FindMapping(q1, norm)
+		return ok
+	}
+	if SemiInterval(q1) {
+		// Klug's tractable case: when the containing query's comparisons
+		// are all variable-vs-constant (semi-interval), the single-mapping
+		// test is complete — the incompleteness witnesses all need
+		// variable-to-variable comparisons in the container.
+		return ContainedSound(q2, q1)
+	}
+	return ContainedComplete(q2, q1)
+}
+
+// SemiInterval reports whether every comparison of q compares a variable
+// with a constant (or two constants) — the paper's tractable comparison
+// fragment for the containing query.
+func SemiInterval(q *cq.Query) bool {
+	for _, c := range q.Comparisons {
+		if c.Left.IsVar() && c.Right.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeForcedEqualities rewrites q so that terms its comparisons force to
+// be equal are syntactically identified (variables are replaced by their
+// representative; a class containing a constant uses the constant). The
+// second result is false when q's comparisons are unsatisfiable.
+func mergeForcedEqualities(q *cq.Query) (*cq.Query, bool) {
+	set := constraints.NewSet(q.Comparisons)
+	if !set.Satisfiable() {
+		return nil, false
+	}
+	s := cq.NewSubst()
+	terms := set.Terms()
+	for i, a := range terms {
+		if !a.IsVar() {
+			continue
+		}
+		for j, b := range terms {
+			if i == j {
+				continue
+			}
+			if b.IsVar() && j > i {
+				continue // one direction suffices for var-var pairs
+			}
+			if set.Implies(cq.Comparison{Left: a, Op: cq.Eq, Right: b}) {
+				s[a.Lex] = b
+				break
+			}
+		}
+	}
+	if len(s) == 0 {
+		return q, true
+	}
+	return s.Resolved().ApplyQuery(q), true
+}
+
+// ContainedSound is a sound but incomplete test for q2 ⊑ q1 in the presence
+// of comparisons: it searches for a single containment mapping μ from q1 to
+// q2 such that q2's comparisons imply μ(q1's comparisons). It runs in time
+// polynomial in the number of mappings examined. A true answer is always
+// correct; false may be a false negative (the complete test may still
+// succeed by combining different mappings on different linearisations).
+func ContainedSound(q2, q1 *cq.Query) bool {
+	c2 := constraints.NewSet(q2.Comparisons)
+	if !c2.Satisfiable() {
+		return true // q2 is empty on every database
+	}
+	found := false
+	FindAllMappings(q1, q2, func(m Mapping) bool {
+		ext := c2.Clone()
+		ok := true
+		for _, c := range q1.Comparisons {
+			if !ext.Implies(m.ApplyComparison(c)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ContainedComplete is the complete test for q2 ⊑ q1 with comparison
+// predicates (Klug / van der Meyden): q2 ⊑ q1 iff for every total ordering
+// (linearisation) λ of q2's terms — extended with the constants of q1 —
+// that is consistent with q2's comparisons, there is a containment mapping
+// μ from q1 to q2 with λ ⊨ μ(q1's comparisons). The number of
+// linearisations is exponential in the number of terms; the paper shows
+// this is unavoidable in general (Π₂ᵖ-hardness of containment).
+func ContainedComplete(q2, q1 *cq.Query) bool {
+	base := constraints.NewSet(q2.Comparisons)
+	if !base.Satisfiable() {
+		return true
+	}
+	if len(q1.Comparisons) == 0 && len(q2.Comparisons) == 0 {
+		_, ok := FindMapping(q1, q2)
+		return ok
+	}
+	// The linearisation domain: q2's variables and constants plus the
+	// constants of q1 (mappings send q1's comparison terms into this set).
+	var domain []cq.Term
+	domain = append(domain, q2.Vars()...)
+	domain = append(domain, q2.Constants()...)
+	domain = append(domain, q1.Constants()...)
+
+	covered := true
+	constraints.EnumerateLinearizations(domain, base, func(l constraints.Linearization) bool {
+		lam := l.Set()
+		// Identify the terms this linearisation declares equal: the
+		// canonical database of q2 under λ has them merged, so the
+		// mapping search must target the merged query.
+		merged := l.MergeSubst().ApplyQuery(q2)
+		okForThis := false
+		FindAllMappings(q1, merged, func(m Mapping) bool {
+			for _, c := range q1.Comparisons {
+				if !lam.Implies(m.ApplyComparison(c)) {
+					return true // try next mapping
+				}
+			}
+			okForThis = true
+			return false
+		})
+		if !okForThis {
+			covered = false
+			return false // stop: found an uncovered linearisation
+		}
+		return true
+	})
+	return covered
+}
+
+// Equivalent reports whether q1 ≡ q2 (mutual containment, exact test).
+func Equivalent(q1, q2 *cq.Query) bool {
+	return Contained(q1, q2) && Contained(q2, q1)
+}
+
+// EquivalentSound is the fast, sound-but-incomplete equivalence test for
+// queries with comparisons.
+func EquivalentSound(q1, q2 *cq.Query) bool {
+	return ContainedSound(q1, q2) && ContainedSound(q2, q1)
+}
+
+// Minimize returns an equivalent query with a minimal body (the core): no
+// body atom can be removed without changing the query's meaning, and no
+// comparison is implied by the remaining ones. The input is not modified.
+// By Chandra–Merlin the result is unique up to variable renaming for pure
+// conjunctive queries.
+func Minimize(q *cq.Query) *cq.Query {
+	cur := q.Clone()
+	// Drop redundant body atoms one at a time. Removing an atom weakens
+	// the query (cur ⊑ candidate always holds), so the atom is redundant
+	// iff candidate ⊑ cur.
+	for changed := true; changed; {
+		changed = false
+		for i := range cur.Body {
+			if len(cur.Body) == 1 {
+				break // keep safety: at least one subgoal
+			}
+			cand := cur.Clone()
+			cand.Body = append(cand.Body[:i], cand.Body[i+1:]...)
+			if cand.Validate() != nil {
+				continue // removal would make the query unsafe
+			}
+			if Contained(cand, cur) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	// Drop comparisons implied by the rest.
+	for i := 0; i < len(cur.Comparisons); {
+		rest := make([]cq.Comparison, 0, len(cur.Comparisons)-1)
+		rest = append(rest, cur.Comparisons[:i]...)
+		rest = append(rest, cur.Comparisons[i+1:]...)
+		if constraints.NewSet(rest).Implies(cur.Comparisons[i]) {
+			cur.Comparisons = rest
+			continue
+		}
+		i++
+	}
+	return cur
+}
+
+// IsMinimal reports whether no body atom of q can be removed while
+// preserving equivalence.
+func IsMinimal(q *cq.Query) bool {
+	return len(Minimize(q).Body) == len(q.Body)
+}
+
+// Freeze produces the canonical database of q: each variable is replaced by
+// a distinguished fresh constant. It returns the frozen body facts and the
+// frozen head atom. The canonical database is the classical tool behind the
+// containment-mapping theorem and is used by tests and the evaluator.
+func Freeze(q *cq.Query) (facts []cq.Atom, head cq.Atom) {
+	s := cq.NewSubst()
+	for _, v := range q.Vars() {
+		s[v.Lex] = cq.Const("⟨" + v.Lex + "⟩") // ⟨X⟩: cannot collide with parsed constants
+	}
+	for _, a := range q.Body {
+		facts = append(facts, s.ApplyAtom(a))
+	}
+	return facts, s.ApplyAtom(q.Head)
+}

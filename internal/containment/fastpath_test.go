@@ -1,0 +1,94 @@
+package containment
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// The fast complete path: container has no comparisons, contained query's
+// comparisons matter only through forced equalities and satisfiability.
+func TestContainedFastPathForcedEqualities(t *testing.T) {
+	// X<=Y and Y<=X force X=Y, which enables the mapping onto r(U,U).
+	q1 := mustQ("q(X) :- r(X,X)")
+	q2 := mustQ("q(A) :- r(A,B), A <= B, B <= A")
+	if !Contained(q2, q1) {
+		t.Fatal("forced equality not applied")
+	}
+	// Without the equalities there is no containment.
+	q3 := mustQ("q(A) :- r(A,B), A <= B")
+	if Contained(q3, q1) {
+		t.Fatal("A<=B alone should not force A=B")
+	}
+}
+
+func TestContainedFastPathEqualityViaConstant(t *testing.T) {
+	q1 := mustQ("q(X) :- r(X,X)")
+	q2 := mustQ("q(A) :- r(A,B), A = 5, B = 5")
+	if !Contained(q2, q1) {
+		t.Fatal("equality through a shared constant not applied")
+	}
+}
+
+func TestContainedFastPathUnsatisfiable(t *testing.T) {
+	q1 := mustQ("q(X) :- impossible(X)")
+	q2 := mustQ("q(A) :- r(A), A < 2, A > 3")
+	if !Contained(q2, q1) {
+		t.Fatal("unsatisfiable query must be contained in everything")
+	}
+}
+
+func TestMergeForcedEqualitiesDirect(t *testing.T) {
+	q := mustQ("q(A) :- r(A,B), s(B,C), A <= B, B <= A, C = 7")
+	norm, sat := mergeForcedEqualities(q)
+	if !sat {
+		t.Fatal("satisfiable query reported unsat")
+	}
+	// A and B collapse; C becomes the constant 7.
+	vars := norm.Vars()
+	if len(vars) != 1 {
+		t.Fatalf("vars after merge = %v (query %v)", vars, norm)
+	}
+	foundConst := false
+	for _, a := range norm.Body {
+		for _, term := range a.Args {
+			if term == cq.Const("7") {
+				foundConst = true
+			}
+		}
+	}
+	if !foundConst {
+		t.Fatalf("constant substitution missing: %v", norm)
+	}
+	// Unsatisfiable input.
+	bad := mustQ("q(A) :- r(A), A < 1, A > 2")
+	if _, sat := mergeForcedEqualities(bad); sat {
+		t.Fatal("unsat not detected")
+	}
+	// No forced equalities: query returned unchanged.
+	plain := mustQ("q(A) :- r(A,B), A < B")
+	norm2, _ := mergeForcedEqualities(plain)
+	if norm2.String() != plain.String() {
+		t.Fatalf("query changed without forced equalities: %v", norm2)
+	}
+}
+
+// The fast path must agree with the full complete test.
+func TestContainedFastPathAgreesWithComplete(t *testing.T) {
+	cases := []struct{ q2, q1 string }{
+		{"q(A) :- r(A,B), A <= B, B <= A", "q(X) :- r(X,X)"},
+		{"q(A) :- r(A,B), A <= B", "q(X) :- r(X,X)"},
+		{"q(A) :- r(A,B), A = 3", "q(X) :- r(X,Y)"},
+		{"q(A) :- r(A,B), A != B", "q(X) :- r(X,Y)"},
+		{"q(A) :- r(A,B), A < 2, A > 3", "q(X) :- s(X)"},
+		{"q(A) :- r(A,A)", "q(X) :- r(X,Y)"},
+	}
+	for _, c := range cases {
+		q2, q1 := mustQ(c.q2), mustQ(c.q1)
+		fast := Contained(q2, q1)
+		complete := ContainedComplete(q2, q1)
+		if fast != complete {
+			t.Errorf("fast path disagrees on (%q ⊑ %q): fast=%v complete=%v", c.q2, c.q1, fast, complete)
+		}
+	}
+}

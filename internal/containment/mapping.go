@@ -1,0 +1,190 @@
+// Package containment implements containment, equivalence and minimisation
+// of conjunctive queries, the technical core of "Answering Queries Using
+// Views" (PODS 1995).
+//
+// For pure conjunctive queries the Chandra–Merlin theorem applies:
+// Q2 ⊑ Q1 iff there is a containment mapping from Q1 to Q2. For queries
+// with arithmetic comparisons the package provides both the standard sound
+// homomorphism test and the complete (exponential) linearisation test; the
+// paper's lower bounds show the exponential cannot be avoided in general.
+package containment
+
+import (
+	"repro/internal/cq"
+)
+
+// Mapping is a containment mapping: a substitution over the source query's
+// variables. It maps the source head to the target head positionally and
+// every source body atom to some target body atom.
+type Mapping = cq.Subst
+
+// FindMapping returns a containment mapping from `from` onto `to`, or
+// ok=false if none exists. Head predicate names are ignored; head arities
+// must agree and head arguments map positionally.
+func FindMapping(from, to *cq.Query) (Mapping, bool) {
+	var found Mapping
+	FindAllMappings(from, to, func(m Mapping) bool {
+		found = m.Clone()
+		return false
+	})
+	return found, found != nil
+}
+
+// FindAllMappings enumerates containment mappings from `from` onto `to`,
+// invoking yield for each. Enumeration stops early when yield returns
+// false. The substitution passed to yield is reused across calls; clone it
+// if it must outlive the callback.
+func FindAllMappings(from, to *cq.Query, yield func(Mapping) bool) {
+	if len(from.Head.Args) != len(to.Head.Args) {
+		return
+	}
+	s := cq.NewSubst()
+	// Bind head arguments positionally.
+	for i, ft := range from.Head.Args {
+		tt := to.Head.Args[i]
+		if ft.IsVar() {
+			if !s.Bind(ft.Lex, tt) {
+				return
+			}
+		} else if ft != tt {
+			return
+		}
+	}
+	srch := newSearch(from, to)
+	srch.run(s, yield)
+}
+
+// FindBodyMappings enumerates substitutions over `from`'s variables that map
+// every body atom of `from` to some body atom of `to`, starting from the
+// given initial bindings (which may be nil). Heads are ignored entirely —
+// this is the primitive used by the rewriting engine, where view bodies are
+// mapped into query bodies.
+func FindBodyMappings(from, to *cq.Query, initial cq.Subst, yield func(Mapping) bool) {
+	s := cq.NewSubst()
+	for k, v := range initial {
+		s[k] = v
+	}
+	srch := newSearch(from, to)
+	srch.run(s, yield)
+}
+
+// search holds the prepared state for one mapping enumeration.
+type search struct {
+	atoms   []cq.Atom            // source atoms in search order
+	targets map[string][]cq.Atom // target atoms by predicate
+}
+
+func newSearch(from, to *cq.Query) *search {
+	targets := make(map[string][]cq.Atom)
+	for _, a := range to.Body {
+		targets[a.Pred] = append(targets[a.Pred], a)
+	}
+	// Order source atoms connectivity-first: repeatedly pick the atom with
+	// the most variables already bound by earlier atoms, breaking ties by
+	// smaller candidate set. This keeps the backtracking search from
+	// enumerating cartesian products of unconnected subgoals (critical on
+	// clique-shaped patterns, the paper's NP-hardness regime).
+	n := len(from.Body)
+	atoms := make([]cq.Atom, 0, n)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	for len(atoms) < n {
+		best, bestBound, bestCand := -1, -1, 0
+		for i, a := range from.Body {
+			if used[i] {
+				continue
+			}
+			nb := 0
+			for _, t := range a.Args {
+				if t.IsConst() || bound[t.Lex] {
+					nb++
+				}
+			}
+			cand := len(targets[a.Pred])
+			if best == -1 || nb > bestBound || nb == bestBound && cand < bestCand {
+				best, bestBound, bestCand = i, nb, cand
+			}
+		}
+		used[best] = true
+		atoms = append(atoms, from.Body[best])
+		for _, t := range from.Body[best].Args {
+			if t.IsVar() {
+				bound[t.Lex] = true
+			}
+		}
+	}
+	return &search{atoms: atoms, targets: targets}
+}
+
+// run backtracks over the source atoms. It reports false if yield asked to
+// stop.
+func (s *search) run(subst cq.Subst, yield func(Mapping) bool) bool {
+	return s.step(0, subst, yield)
+}
+
+func (s *search) step(i int, subst cq.Subst, yield func(Mapping) bool) bool {
+	if i == len(s.atoms) {
+		return yield(subst)
+	}
+	atom := s.atoms[i]
+	for _, target := range s.targets[atom.Pred] {
+		trail := matchWithTrail(subst, atom, target)
+		if trail == nil {
+			continue
+		}
+		if !s.step(i+1, subst, yield) {
+			return false
+		}
+		undo(subst, trail)
+	}
+	return true
+}
+
+// matchWithTrail extends subst so that subst(pattern) == target, recording
+// newly bound variables. It returns nil on failure (after undoing any
+// partial bindings) and the trail of added variable names on success. A
+// successful match of an atom with no new bindings returns a non-nil empty
+// trail.
+func matchWithTrail(subst cq.Subst, pattern, target cq.Atom) []string {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return nil
+	}
+	trail := make([]string, 0, len(pattern.Args))
+	for i := range pattern.Args {
+		pt, tt := pattern.Args[i], target.Args[i]
+		if pt.IsVar() {
+			if old, ok := subst[pt.Lex]; ok {
+				if old != tt {
+					undo(subst, trail)
+					return nil
+				}
+				continue
+			}
+			subst[pt.Lex] = tt
+			trail = append(trail, pt.Lex)
+			continue
+		}
+		if pt != tt {
+			undo(subst, trail)
+			return nil
+		}
+	}
+	return trail
+}
+
+func undo(subst cq.Subst, trail []string) {
+	for _, v := range trail {
+		delete(subst, v)
+	}
+}
+
+// CountMappings returns the number of containment mappings from `from` onto
+// `to`. Intended for tests and diagnostics.
+func CountMappings(from, to *cq.Query) int {
+	n := 0
+	FindAllMappings(from, to, func(Mapping) bool {
+		n++
+		return true
+	})
+	return n
+}

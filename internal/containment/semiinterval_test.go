@@ -1,0 +1,110 @@
+package containment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestSemiInterval(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"q(X) :- r(X)", true},
+		{"q(X) :- r(X), X < 5", true},
+		{"q(X) :- r(X,Y), X < 5, Y >= 2, X != 7", true},
+		{"q(X) :- r(X,Y), X < Y", false},
+		{"q(X) :- r(X,Y), X < 5, X <= Y", false},
+		{"q(X) :- r(X), 3 < 5", true},
+	}
+	for _, c := range cases {
+		if got := SemiInterval(mustQ(c.src)); got != c.want {
+			t.Errorf("SemiInterval(%q) = %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// randSemiIntervalPair generates random query pairs whose container is
+// semi-interval, for cross-checking the fast dispatch against the complete
+// test.
+func randSemiIntervalPair(rng *rand.Rand) (q2, q1 *cq.Query) {
+	gen := func(withVarVar bool) *cq.Query {
+		nAtoms := 1 + rng.Intn(3)
+		vars := []cq.Term{cq.Var("X"), cq.Var("Y"), cq.Var("Z")}
+		body := make([]cq.Atom, nAtoms)
+		for i := range body {
+			body[i] = cq.NewAtom(
+				fmt.Sprintf("p%d", rng.Intn(2)+1),
+				vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+		}
+		q := &cq.Query{Head: cq.NewAtom("q", body[0].Args[0]), Body: body}
+		nComps := rng.Intn(3)
+		ops := []cq.CompOp{cq.Lt, cq.Le, cq.Gt, cq.Ge, cq.Ne}
+		for i := 0; i < nComps; i++ {
+			v := vars[rng.Intn(len(vars))]
+			// Only attach comparisons over variables present in the body.
+			present := false
+			for _, a := range q.Body {
+				for _, t := range a.Args {
+					if t == v {
+						present = true
+					}
+				}
+			}
+			if !present {
+				continue
+			}
+			var right cq.Term
+			if withVarVar && rng.Intn(2) == 0 {
+				right = vars[rng.Intn(len(vars))]
+				presentR := false
+				for _, a := range q.Body {
+					for _, t := range a.Args {
+						if t == right {
+							presentR = true
+						}
+					}
+				}
+				if !presentR {
+					continue
+				}
+			} else {
+				right = cq.IntConst(int64(rng.Intn(6)))
+			}
+			q.Comparisons = append(q.Comparisons, cq.Comparison{
+				Left: v, Op: ops[rng.Intn(len(ops))], Right: right,
+			})
+		}
+		return q
+	}
+	return gen(true), gen(false) // q2 arbitrary, q1 semi-interval
+}
+
+// The fast semi-interval dispatch must agree with the exponential complete
+// test on random instances.
+func TestSemiIntervalDispatchMatchesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	checked := 0
+	for i := 0; i < 400; i++ {
+		q2, q1 := randSemiIntervalPair(rng)
+		if !SemiInterval(q1) {
+			continue
+		}
+		if len(q1.Comparisons) == 0 {
+			continue // exercised elsewhere
+		}
+		fast := ContainedSound(q2, q1)
+		complete := ContainedComplete(q2, q1)
+		if fast != complete {
+			t.Fatalf("disagreement on\n  q2 = %v\n  q1 = %v\n  sound=%v complete=%v",
+				q2, q1, fast, complete)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("too few instances checked: %d", checked)
+	}
+}

@@ -1,0 +1,131 @@
+package containment
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/cq"
+)
+
+// ContainedInUnion reports whether q ⊑ u for a union of conjunctive
+// queries. For pure conjunctive queries this uses the Sagiv–Yannakakis
+// theorem: q ⊑ ∪ᵢ Qᵢ iff q ⊑ Qᵢ for some i. With comparison predicates the
+// per-disjunct test is no longer complete (different linearisations of q
+// may be covered by different disjuncts), so the complete linearisation
+// test is used instead.
+func ContainedInUnion(q *cq.Query, u *cq.Union) bool {
+	if u.Len() == 0 {
+		return false
+	}
+	pure := len(q.Comparisons) == 0
+	if pure {
+		for _, m := range u.Queries {
+			pure = pure && len(m.Comparisons) == 0
+		}
+	}
+	if pure {
+		for _, m := range u.Queries {
+			if Contained(q, m) {
+				return true
+			}
+		}
+		return false
+	}
+	return containedInUnionComplete(q, u)
+}
+
+// containedInUnionComplete: q ⊑ u iff every linearisation of q's terms
+// (extended with the constants of u's members) consistent with q's
+// comparisons is covered by some member mapping.
+func containedInUnionComplete(q *cq.Query, u *cq.Union) bool {
+	base := constraints.NewSet(q.Comparisons)
+	if !base.Satisfiable() {
+		return true
+	}
+	var domain []cq.Term
+	domain = append(domain, q.Vars()...)
+	domain = append(domain, q.Constants()...)
+	for _, m := range u.Queries {
+		domain = append(domain, m.Constants()...)
+	}
+	covered := true
+	constraints.EnumerateLinearizations(domain, base, func(l constraints.Linearization) bool {
+		lam := l.Set()
+		merged := l.MergeSubst().ApplyQuery(q)
+		okForThis := false
+		for _, m := range u.Queries {
+			FindAllMappings(m, merged, func(mp Mapping) bool {
+				for _, c := range m.Comparisons {
+					if !lam.Implies(mp.ApplyComparison(c)) {
+						return true
+					}
+				}
+				okForThis = true
+				return false
+			})
+			if okForThis {
+				break
+			}
+		}
+		if !okForThis {
+			covered = false
+			return false
+		}
+		return true
+	})
+	return covered
+}
+
+// UnionContained reports whether u ⊑ q: every member of the union is
+// contained in q.
+func UnionContained(u *cq.Union, q *cq.Query) bool {
+	for _, m := range u.Queries {
+		if !Contained(m, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionContainedInUnion reports whether u1 ⊑ u2.
+func UnionContainedInUnion(u1, u2 *cq.Union) bool {
+	for _, m := range u1.Queries {
+		if !ContainedInUnion(m, u2) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionEquivalent reports whether u ≡ q for a UCQ and a CQ.
+func UnionEquivalent(u *cq.Union, q *cq.Query) bool {
+	return UnionContained(u, q) && ContainedInUnion(q, u)
+}
+
+// MinimizeUnion removes members subsumed by other members and minimises
+// each surviving member. The result is equivalent to the input.
+func MinimizeUnion(u *cq.Union) *cq.Union {
+	out := &cq.Union{}
+	kept := make([]*cq.Query, 0, u.Len())
+	for _, m := range u.Queries {
+		kept = append(kept, Minimize(m))
+	}
+	for i, m := range kept {
+		subsumed := false
+		for j, other := range kept {
+			if i == j {
+				continue
+			}
+			if Contained(m, other) {
+				// Break ties deterministically: drop the later of two
+				// mutually contained members.
+				if !Contained(other, m) || j < i {
+					subsumed = true
+					break
+				}
+			}
+		}
+		if !subsumed {
+			out.Add(m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/containment"
+	"repro/internal/cq"
+)
+
+// Application is one way of using a view in a rewriting of a query: a full
+// homomorphism Phi from the view's body into the query's body. The induced
+// rewriting subgoal is Atom = v(Phi(head args)); Covers lists the indices of
+// the query body atoms that the view's body lands on.
+//
+// An application is Valid when it can participate in an equivalent
+// rewriting of a minimised query: every view variable mapped to a "needed"
+// query term (a head term, a term of an uncovered atom, or a comparison
+// term) must be distinguished in the view, no view existential may land on
+// a constant, and distinct existentials may not be collapsed onto the same
+// term — otherwise the unfolding loses joins or constants that the query
+// requires. Invalid applications are still recorded (the usability analysis
+// reports why a view cannot help).
+type Application struct {
+	View   *cq.Query
+	Phi    cq.Subst
+	Atom   cq.Atom
+	Covers []int
+	Valid  bool
+	// Reason explains Valid=false; empty when valid.
+	Reason string
+}
+
+// Key identifies the application up to the parts that matter for candidate
+// generation (the rewriting atom and the covered set).
+func (ap Application) Key() string {
+	parts := make([]string, 0, len(ap.Covers)+1)
+	parts = append(parts, ap.Atom.String())
+	for _, c := range ap.Covers {
+		parts = append(parts, strconv.Itoa(c))
+	}
+	return strings.Join(parts, "|")
+}
+
+// Applications enumerates the applications of view v to query q. The query
+// should normally be minimised first (see Rewriter); the enumeration is
+// deterministic.
+func Applications(v, q *cq.Query) []Application {
+	var out []Application
+	seen := make(map[string]bool)
+	containment.FindBodyMappings(v, q, nil, func(m containment.Mapping) bool {
+		ap := buildApplication(v, q, m)
+		k := ap.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, ap)
+		}
+		return true
+	})
+	return out
+}
+
+func buildApplication(v, q *cq.Query, m containment.Mapping) Application {
+	phi := m.Clone()
+	// Covered atoms: indices of q body atoms equal to the image of some
+	// view body atom.
+	covered := make(map[int]bool)
+	for _, va := range v.Body {
+		img := phi.ApplyAtom(va)
+		for i, qa := range q.Body {
+			if qa.Equal(img) {
+				covered[i] = true
+			}
+		}
+	}
+	covers := make([]int, 0, len(covered))
+	for i := range covered {
+		covers = append(covers, i)
+	}
+	sort.Ints(covers)
+
+	atom := phi.ApplyAtom(cq.Atom{Pred: v.Name(), Args: v.Head.Args})
+	ap := Application{View: v, Phi: phi, Atom: atom, Covers: covers, Valid: true}
+	ap.Valid, ap.Reason = checkApplication(v, q, phi, covered)
+	return ap
+}
+
+// checkApplication enforces the distinguished-variable conditions described
+// on Application.
+func checkApplication(v, q *cq.Query, phi cq.Subst, covered map[int]bool) (bool, string) {
+	distinguished := make(map[string]bool)
+	for _, t := range v.Head.Args {
+		if t.IsVar() {
+			distinguished[t.Lex] = true
+		}
+	}
+	// Needed terms of q: head terms and terms of uncovered atoms. Terms
+	// appearing only in comparisons are deliberately not "needed" here —
+	// a view may satisfy a comparison internally without exposing the
+	// compared column; the final equivalence verification decides.
+	needed := make(map[cq.Term]bool)
+	for _, t := range q.Head.Args {
+		needed[t] = true
+	}
+	for i, a := range q.Body {
+		if covered[i] {
+			continue
+		}
+		for _, t := range a.Args {
+			needed[t] = true
+		}
+	}
+
+	imageOf := make(map[cq.Term]string) // q term -> existential view var landing on it
+	for _, x := range v.Vars() {
+		if distinguished[x.Lex] {
+			continue
+		}
+		img, bound := phi[x.Lex]
+		if !bound {
+			continue // view variable only in comparisons with no body occurrence cannot happen for safe views
+		}
+		if img.IsConst() {
+			return false, "existential " + x.Lex + " lands on constant " + img.String()
+		}
+		if needed[img] {
+			return false, "existential " + x.Lex + " lands on needed term " + img.String()
+		}
+		if prev, dup := imageOf[img]; dup && prev != x.Lex {
+			return false, "existentials " + prev + " and " + x.Lex + " collapse onto " + img.String()
+		}
+		imageOf[img] = x.Lex
+	}
+	// Distinct distinguished variables may collapse (the view atom then has
+	// a repeated argument) — allowed; the equivalence test decides.
+	return true, ""
+}
+
+// Usable reports whether view v has at least one valid application to
+// (minimised) q. This is the operational usability test of the paper: a
+// view with no valid application cannot occur in any equivalent complete
+// rewriting of a minimised query. Deciding usability is NP-complete in the
+// size of the view (R3); this implementation backtracks over body mappings
+// and stops at the first valid application.
+func Usable(v, q *cq.Query) bool {
+	qm := containment.Minimize(q)
+	found := false
+	containment.FindBodyMappings(v, qm, nil, func(m containment.Mapping) bool {
+		ap := buildApplication(v, qm, m)
+		if ap.Valid {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// Expand unfolds every view atom of q into the view's definition: the view
+// head is unified with the atom's arguments, the view's existential
+// variables are renamed apart, and the view's body and comparisons are
+// spliced into the result. Atoms over predicates not in vs are left in
+// place, so Expand works for partial rewritings too.
+//
+// Expand returns an error if a view is used with the wrong arity or if head
+// unification fails on conflicting constants (such a rewriting is
+// unsatisfiable).
+func Expand(q *cq.Query, vs *ViewSet) (*cq.Query, error) {
+	fresh := cq.NewFreshener("E")
+	fresh.Reserve(q)
+	theta := cq.NewSubst()
+	var body []cq.Atom
+	comps := make([]cq.Comparison, 0, len(q.Comparisons))
+	comps = append(comps, q.Comparisons...)
+
+	for _, a := range q.Body {
+		v := vs.Lookup(a.Pred)
+		if v == nil {
+			body = append(body, a)
+			continue
+		}
+		if v.Arity() != len(a.Args) {
+			return nil, fmt.Errorf("core: view %s has arity %d but is used with %d arguments", v.Name(), v.Arity(), len(a.Args))
+		}
+		renamed, _ := fresh.RenameApart(v)
+		for j := range a.Args {
+			if !theta.UnifyTerms(renamed.Head.Args[j], a.Args[j]) {
+				return nil, fmt.Errorf("core: cannot unify %s with head of view %s (conflicting constants)", a, v.Name())
+			}
+		}
+		body = append(body, renamed.Body...)
+		comps = append(comps, renamed.Comparisons...)
+	}
+	resolved := theta.Resolved()
+	out := resolved.ApplyQuery(&cq.Query{Head: q.Head, Body: body, Comparisons: comps})
+	return out, nil
+}
+
+// MustExpand is Expand that panics on error; for tests and examples.
+func MustExpand(q *cq.Query, vs *ViewSet) *cq.Query {
+	out, err := Expand(q, vs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ExpandUnion unfolds every member of a union.
+func ExpandUnion(u *cq.Union, vs *ViewSet) (*cq.Union, error) {
+	out := &cq.Union{}
+	for _, m := range u.Queries {
+		e, err := Expand(m, vs)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(e)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package core implements the primary contribution of "Answering Queries
+// Using Views" (Levy, Mendelzon, Sagiv, Srivastava — PODS 1995): deciding
+// whether a conjunctive query can be rewritten to use a set of views, and
+// finding the rewritings.
+//
+// The engine enumerates view applications — homomorphisms from a view body
+// into the (minimised) query body — and searches covers of the query's
+// subgoals by applications. Every candidate is verified exactly by unfolding
+// it (Expand) and testing equivalence with the query, so the output is
+// always sound; for pure conjunctive queries the procedure is also complete,
+// and every rewriting it returns respects the paper's bound of at most n
+// subgoals for a query with n subgoals (Theorem R2 in DESIGN.md).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// ViewSet is a named collection of view definitions. Views are conjunctive
+// queries over base predicates; view definitions may not reference other
+// views. Names must be distinct and must not collide with base predicates
+// used in any view body.
+type ViewSet struct {
+	views  []*cq.Query
+	byName map[string]*cq.Query
+}
+
+// NewViewSet validates and indexes a set of view definitions.
+func NewViewSet(views ...*cq.Query) (*ViewSet, error) {
+	vs := &ViewSet{byName: make(map[string]*cq.Query, len(views))}
+	for _, v := range views {
+		if err := vs.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+// MustNewViewSet is NewViewSet that panics on error; for tests and examples.
+func MustNewViewSet(views ...*cq.Query) *ViewSet {
+	vs, err := NewViewSet(views...)
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// Add validates and inserts one view definition.
+func (vs *ViewSet) Add(v *cq.Query) error {
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("core: invalid view: %w", err)
+	}
+	name := v.Name()
+	if _, dup := vs.byName[name]; dup {
+		return fmt.Errorf("core: duplicate view name %s", name)
+	}
+	for _, a := range v.Body {
+		if _, isView := vs.byName[a.Pred]; isView {
+			return fmt.Errorf("core: view %s references view %s; views must be defined over base predicates", name, a.Pred)
+		}
+	}
+	for _, existing := range vs.views {
+		for _, a := range existing.Body {
+			if a.Pred == name {
+				return fmt.Errorf("core: view %s is used as a base predicate by view %s", name, existing.Name())
+			}
+		}
+	}
+	vs.views = append(vs.views, v)
+	vs.byName[name] = v
+	return nil
+}
+
+// Lookup returns the view with the given name, or nil.
+func (vs *ViewSet) Lookup(name string) *cq.Query {
+	if vs == nil {
+		return nil
+	}
+	return vs.byName[name]
+}
+
+// Views returns the view definitions in insertion order.
+func (vs *ViewSet) Views() []*cq.Query {
+	out := make([]*cq.Query, len(vs.views))
+	copy(out, vs.views)
+	return out
+}
+
+// Len returns the number of views.
+func (vs *ViewSet) Len() int { return len(vs.views) }
+
+// Names returns the view names in insertion order.
+func (vs *ViewSet) Names() []string {
+	out := make([]string, len(vs.views))
+	for i, v := range vs.views {
+		out[i] = v.Name()
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package cost provides a simple cardinality-based cost model for choosing
+// among rewritings — the query-optimisation use of the paper's results.
+// Costs estimate the work of left-deep index-nested-loop evaluation, which
+// is how internal/datalog executes conjunctive queries.
+//
+// The model is deliberately simple (independence and uniformity
+// assumptions, per-column distinct counts) but is honest about its output:
+// it ranks plans; it does not predict wall-clock time.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// Catalog holds per-relation statistics used by the estimator.
+type Catalog struct {
+	rows     map[string]float64
+	distinct map[string][]float64 // per column
+}
+
+// NewCatalog builds statistics from a database: relation cardinalities and
+// per-column distinct-value counts.
+func NewCatalog(db *storage.Database) *Catalog {
+	c := &Catalog{
+		rows:     make(map[string]float64),
+		distinct: make(map[string][]float64),
+	}
+	for _, pred := range db.Predicates() {
+		rel := db.Relation(pred)
+		c.rows[pred] = float64(rel.Len())
+		d := make([]float64, rel.Arity())
+		for col := 0; col < rel.Arity(); col++ {
+			seen := make(map[string]bool)
+			for _, t := range rel.Tuples() {
+				seen[t[col]] = true
+			}
+			d[col] = math.Max(1, float64(len(seen)))
+		}
+		c.distinct[pred] = d
+	}
+	return c
+}
+
+// SetRelation registers statistics manually (for what-if analysis).
+func (c *Catalog) SetRelation(pred string, rows float64, distinct []float64) {
+	c.rows[pred] = rows
+	c.distinct[pred] = distinct
+}
+
+// Rows returns the cardinality of a relation (1 if unknown — a missing
+// relation joins like a singleton so unknown predicates do not dominate).
+func (c *Catalog) Rows(pred string) float64 {
+	if r, ok := c.rows[pred]; ok {
+		return r
+	}
+	return 1
+}
+
+func (c *Catalog) distinctAt(pred string, col int) float64 {
+	if d, ok := c.distinct[pred]; ok && col < len(d) {
+		return d[col]
+	}
+	return 1
+}
+
+// Estimate is the estimated evaluation of one query: the number of
+// intermediate tuples produced by a left-deep plan in the datalog
+// evaluator's greedy join order.
+type Estimate struct {
+	// Cost is the total intermediate-result size (the quantity a nested-
+	// loop evaluator is proportional to).
+	Cost float64
+	// Cardinality is the estimated output size before projection.
+	Cardinality float64
+	// Order is the join order used, as body indexes.
+	Order []int
+}
+
+// EstimateQuery costs a conjunctive query against the catalog.
+func EstimateQuery(c *Catalog, q *cq.Query) Estimate {
+	type state struct {
+		bound map[string]bool
+	}
+	st := state{bound: make(map[string]bool)}
+	remaining := make([]int, 0, len(q.Body))
+	for i := range q.Body {
+		remaining = append(remaining, i)
+	}
+	est := Estimate{Cardinality: 1}
+	for len(remaining) > 0 {
+		// Mirror datalog.planOrder: most bound arguments first, then
+		// smaller relation.
+		best, bestScore, bestRows := -1, -1.0, 0.0
+		for _, idx := range remaining {
+			a := q.Body[idx]
+			score := 0.0
+			for _, t := range a.Args {
+				if t.IsConst() || t.IsVar() && st.bound[t.Lex] {
+					score++
+				}
+			}
+			rows := c.Rows(a.Pred)
+			if best == -1 || score > bestScore || score == bestScore && rows < bestRows {
+				best, bestScore, bestRows = idx, score, rows
+			}
+		}
+		a := q.Body[best]
+		// Selectivity: each bound column filters by its distinct count;
+		// constants likewise.
+		size := c.Rows(a.Pred)
+		for col, t := range a.Args {
+			if t.IsConst() || t.IsVar() && st.bound[t.Lex] {
+				size /= c.distinctAt(a.Pred, col)
+			}
+		}
+		size = math.Max(size, 1.0/c.RowsSafe(a.Pred))
+		est.Cardinality *= size
+		est.Cost += est.Cardinality
+		est.Order = append(est.Order, best)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				st.bound[t.Lex] = true
+			}
+		}
+		remaining = removeInt(remaining, best)
+	}
+	// Comparisons filter the final result; assume 1/3 selectivity each
+	// (the classical System R default).
+	for range q.Comparisons {
+		est.Cardinality /= 3
+	}
+	return est
+}
+
+// RowsSafe is Rows guarded against zero.
+func (c *Catalog) RowsSafe(pred string) float64 {
+	return math.Max(1, c.Rows(pred))
+}
+
+// EstimateUnion costs a union as the sum of member costs.
+func EstimateUnion(c *Catalog, u *cq.Union) Estimate {
+	var total Estimate
+	for _, m := range u.Queries {
+		e := EstimateQuery(c, m)
+		total.Cost += e.Cost
+		total.Cardinality += e.Cardinality
+	}
+	return total
+}
+
+// Choose returns the index of the cheapest query among candidates, along
+// with all estimates. It is the decision procedure an optimiser would run
+// over the rewritings produced by the core engine.
+func Choose(c *Catalog, candidates []*cq.Query) (best int, estimates []Estimate) {
+	best = -1
+	estimates = make([]Estimate, len(candidates))
+	for i, q := range candidates {
+		estimates[i] = EstimateQuery(c, q)
+		if best == -1 || estimates[i].Cost < estimates[best].Cost {
+			best = i
+		}
+	}
+	return best, estimates
+}
+
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

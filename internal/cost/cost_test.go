@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+func mustQ(src string) *cq.Query { return cq.MustParseQuery(src) }
+
+func sampleDB() *storage.Database {
+	db := storage.NewDatabase()
+	for i := 0; i < 100; i++ {
+		db.Insert("big", storage.Tuple{tupleVal("a", i), tupleVal("b", i%10)})
+	}
+	for i := 0; i < 5; i++ {
+		db.Insert("small", storage.Tuple{tupleVal("a", i)})
+	}
+	return db
+}
+
+func tupleVal(p string, i int) string { return p + string(rune('0'+i%10)) + string(rune('0'+i/10%10)) }
+
+func TestCatalogStats(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	if c.Rows("big") != 100 || c.Rows("small") != 5 {
+		t.Fatalf("rows: big=%v small=%v", c.Rows("big"), c.Rows("small"))
+	}
+	if c.Rows("missing") != 1 {
+		t.Fatal("missing relation should default to 1")
+	}
+	if d := c.distinctAt("big", 1); d != 10 {
+		t.Fatalf("distinct(big,1) = %v", d)
+	}
+}
+
+func TestEstimateQueryPrefersSelectiveDriver(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	q := mustQ("q(X) :- big(X,Y), small(X)")
+	e := EstimateQuery(c, q)
+	if len(e.Order) != 2 {
+		t.Fatalf("order = %v", e.Order)
+	}
+	// The evaluator starts with the smaller relation (index 1 = small).
+	if e.Order[0] != 1 {
+		t.Fatalf("driver should be small, order = %v", e.Order)
+	}
+	if e.Cost <= 0 || e.Cardinality <= 0 {
+		t.Fatalf("estimate = %+v", e)
+	}
+}
+
+func TestEstimateConstantsFilter(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	all := EstimateQuery(c, mustQ("q(X,Y) :- big(X,Y)"))
+	filtered := EstimateQuery(c, mustQ("q(X) :- big(X,b3)"))
+	if filtered.Cardinality >= all.Cardinality {
+		t.Fatalf("constant filter did not reduce cardinality: %v vs %v", filtered.Cardinality, all.Cardinality)
+	}
+}
+
+func TestEstimateComparisonsReduce(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	plain := EstimateQuery(c, mustQ("q(X,Y) :- big(X,Y)"))
+	comp := EstimateQuery(c, mustQ("q(X,Y) :- big(X,Y), X < Y"))
+	if comp.Cardinality >= plain.Cardinality {
+		t.Fatal("comparison did not reduce cardinality")
+	}
+}
+
+func TestChoosePrefersMaterializedJoin(t *testing.T) {
+	// Simulate a pre-joined view that is much smaller than the cross of
+	// its base relations.
+	c := NewCatalog(storage.NewDatabase())
+	c.SetRelation("r", 10000, []float64{1000, 500})
+	c.SetRelation("s", 10000, []float64{500, 1000})
+	c.SetRelation("v_joined", 800, []float64{600, 600})
+	direct := mustQ("q(X,Y) :- r(X,Z), s(Z,Y)")
+	viaView := mustQ("q(X,Y) :- v_joined(X,Y)")
+	best, ests := Choose(c, []*cq.Query{direct, viaView})
+	if best != 1 {
+		t.Fatalf("Choose picked %d (estimates %+v)", best, ests)
+	}
+}
+
+func TestEstimateUnion(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	u := cq.NewUnion(mustQ("q(X) :- small(X)"), mustQ("q(X) :- big(X,Y)"))
+	e := EstimateUnion(c, u)
+	single := EstimateQuery(c, mustQ("q(X) :- small(X)"))
+	if e.Cost <= single.Cost {
+		t.Fatal("union cost should exceed a single member")
+	}
+}
+
+func TestChooseEmpty(t *testing.T) {
+	c := NewCatalog(storage.NewDatabase())
+	best, ests := Choose(c, nil)
+	if best != -1 || len(ests) != 0 {
+		t.Fatalf("Choose on empty = %d, %v", best, ests)
+	}
+}

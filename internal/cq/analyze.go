@@ -1,0 +1,173 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalizeVariables returns an α-renamed copy of q: variables are
+// renamed V0, V1, ... in first-occurrence order over the canonicalised
+// rendering (head first, then body atoms sorted). Two queries that differ
+// only by variable names and subgoal order canonicalise to equal strings,
+// which makes CanonicalizeVariables(q).String() a cheap isomorphism-modulo-
+// ordering key for deduplication. (Full CQ isomorphism also permutes atoms
+// with equal shape; use containment.Equivalent for the semantic check.)
+func CanonicalizeVariables(q *Query) *Query {
+	// Sort body atoms by a name-insensitive shape key first, so renaming
+	// does not depend on the input's subgoal order.
+	type shaped struct {
+		atom Atom
+		key  string
+	}
+	shapes := make([]shaped, len(q.Body))
+	for i, a := range q.Body {
+		shapes[i] = shaped{atom: a, key: shapeKey(q, a)}
+	}
+	sort.SliceStable(shapes, func(i, j int) bool { return shapes[i].key < shapes[j].key })
+
+	rename := NewSubst()
+	n := 0
+	visit := func(t Term) {
+		if t.IsVar() {
+			if _, ok := rename[t.Lex]; !ok {
+				rename[t.Lex] = Var(fmt.Sprintf("V%d", n))
+				n++
+			}
+		}
+	}
+	for _, t := range q.Head.Args {
+		visit(t)
+	}
+	for _, s := range shapes {
+		for _, t := range s.atom.Args {
+			visit(t)
+		}
+	}
+	for _, c := range q.Comparisons {
+		visit(c.Left)
+		visit(c.Right)
+	}
+	body := make([]Atom, len(shapes))
+	for i, s := range shapes {
+		body[i] = rename.ApplyAtom(s.atom)
+	}
+	comps := make([]Comparison, len(q.Comparisons))
+	for i, c := range q.Comparisons {
+		comps[i] = rename.ApplyComparison(c).Normalize()
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].String() < comps[j].String() })
+	return &Query{Head: rename.ApplyAtom(q.Head), Body: body, Comparisons: comps}
+}
+
+// shapeKey renders an atom with variables abstracted to their roles: 'h'
+// for head variables, '*' for repeated positions within the atom, '_' for
+// other variables, constants verbatim.
+func shapeKey(q *Query, a Atom) string {
+	head := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			head[t.Lex] = true
+		}
+	}
+	seen := make(map[string]int)
+	parts := make([]string, 0, len(a.Args)+1)
+	parts = append(parts, a.Pred)
+	for _, t := range a.Args {
+		switch {
+		case t.IsConst():
+			parts = append(parts, t.String())
+		case head[t.Lex]:
+			parts = append(parts, "h")
+		default:
+			seen[t.Lex]++
+			if seen[t.Lex] > 1 {
+				parts = append(parts, "*")
+			} else {
+				parts = append(parts, "_")
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// IsAcyclic reports whether the query's hypergraph is α-acyclic, decided
+// by the GYO (Graham–Yu–Özsoyoğlu) reduction: repeatedly remove "ear"
+// atoms — atoms whose variables are either private to the atom or wholly
+// contained in some other atom — until no atoms remain (acyclic) or no ear
+// exists (cyclic). Acyclic queries admit Yannakakis-style evaluation and
+// have tractable minimisation; the classifier is exposed for analysis and
+// workload characterisation.
+// hyperedge is one atom's variable set during the GYO reduction.
+type hyperedge struct {
+	vars map[string]bool
+	live bool
+}
+
+func IsAcyclic(q *Query) bool {
+	edges := make([]hyperedge, len(q.Body))
+	occurrences := make(map[string]int)
+	for i, a := range q.Body {
+		vars := make(map[string]bool)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				vars[t.Lex] = true
+			}
+		}
+		for v := range vars {
+			occurrences[v]++
+		}
+		edges[i] = hyperedge{vars: vars, live: true}
+	}
+	remaining := len(edges)
+	for remaining > 0 {
+		removed := false
+		for i := range edges {
+			if !edges[i].live {
+				continue
+			}
+			if isEar(edges, i, occurrences) {
+				edges[i].live = false
+				remaining--
+				for v := range edges[i].vars {
+					occurrences[v]--
+				}
+				removed = true
+			}
+		}
+		if !removed {
+			return false
+		}
+	}
+	return true
+}
+
+// isEar reports whether edge i is an ear: its non-private variables are
+// all contained in a single other live edge.
+func isEar(edges []hyperedge, i int, occurrences map[string]int) bool {
+	shared := make([]string, 0, len(edges[i].vars))
+	for v := range edges[i].vars {
+		if occurrences[v] > 1 {
+			shared = append(shared, v)
+		}
+	}
+	if len(shared) == 0 {
+		return true
+	}
+	for j := range edges {
+		if j == i || !edges[j].live {
+			continue
+		}
+		contained := true
+		for _, v := range shared {
+			if !edges[j].vars[v] {
+				contained = false
+				break
+			}
+		}
+		if contained {
+			return true
+		}
+	}
+	return false
+}

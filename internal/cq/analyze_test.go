@@ -1,0 +1,70 @@
+package cq
+
+import "testing"
+
+func TestCanonicalizeVariablesRenamingInvariant(t *testing.T) {
+	a := MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	b := MustParseQuery("q(A,B) :- r(A,M), s(M,B)")
+	if CanonicalizeVariables(a).String() != CanonicalizeVariables(b).String() {
+		t.Fatalf("renamed queries canonicalise differently:\n%s\n%s",
+			CanonicalizeVariables(a), CanonicalizeVariables(b))
+	}
+}
+
+func TestCanonicalizeVariablesOrderInvariant(t *testing.T) {
+	a := MustParseQuery("q(X) :- r(X,Z), s(Z), X > 2")
+	b := MustParseQuery("q(X) :- s(Z), r(X,Z), 2 < X")
+	if CanonicalizeVariables(a).String() != CanonicalizeVariables(b).String() {
+		t.Fatalf("reordered queries canonicalise differently:\n%s\n%s",
+			CanonicalizeVariables(a), CanonicalizeVariables(b))
+	}
+}
+
+func TestCanonicalizeVariablesDistinguishesStructure(t *testing.T) {
+	a := MustParseQuery("q(X) :- r(X,Y), r(Y,X)")
+	b := MustParseQuery("q(X) :- r(X,Y), r(X,Z)")
+	if CanonicalizeVariables(a).String() == CanonicalizeVariables(b).String() {
+		t.Fatal("structurally different queries canonicalise equal")
+	}
+}
+
+func TestCanonicalizeVariablesPreservesSemantics(t *testing.T) {
+	q := MustParseQuery("q(X,c) :- r(X,Y), s(Y,5), Y != 3")
+	c := CanonicalizeVariables(q)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("canonical form invalid: %v", err)
+	}
+	if len(c.Body) != len(q.Body) || len(c.Comparisons) != len(q.Comparisons) {
+		t.Fatalf("shape changed: %v", c)
+	}
+	if c.Head.Args[1] != Const("c") {
+		t.Fatalf("head constant lost: %v", c)
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		// Chains and stars are acyclic.
+		{"q(X) :- r(X,Y), s(Y,Z), t(Z,W)", true},
+		{"q(X) :- r(X,A), r(X,B), r(X,C)", true},
+		// A triangle is the canonical cyclic query.
+		{"q(X) :- e(X,Y), e(Y,Z), e(Z,X)", false},
+		// A triangle covered by a big atom becomes acyclic.
+		{"q(X) :- e(X,Y), e(Y,Z), e(Z,X), big(X,Y,Z)", true},
+		// Single atom, and an atom with only private variables.
+		{"q(X) :- r(X)", true},
+		{"q(X) :- r(X), s(A,B)", true},
+		// Four-cycle: cyclic.
+		{"q(X) :- e(X,Y), e(Y,Z), e(Z,W), e(W,X)", false},
+		// Self-loop style repetition stays acyclic.
+		{"q(X) :- e(X,X)", true},
+	}
+	for _, c := range cases {
+		if got := IsAcyclic(MustParseQuery(c.src)); got != c.want {
+			t.Errorf("IsAcyclic(%q) = %v want %v", c.src, got, c.want)
+		}
+	}
+}

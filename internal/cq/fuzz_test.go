@@ -1,0 +1,57 @@
+package cq
+
+import "testing"
+
+// FuzzParseQuery checks the parser never panics and that accepted inputs
+// survive a print/parse round trip.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"q(X,Y) :- r(X,Z), s(Z,Y).",
+		"q(X) :- r(X), X < 5, X != Y.",
+		"q() :- r(a,'quo ted', -2.5).",
+		"v(A,B) :- e(A,C), e(C,B)",
+		"q(X :- r(X)",
+		":- .",
+		"q(X) :- r(X), ",
+		"% comment only",
+		"q(_U) :- p(_U, _U).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %q -> %q: %v", src, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", src, printed, q2.String())
+		}
+	})
+}
+
+// FuzzParseProgram checks program parsing never panics.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("r(a,b). q(X) :- r(X,Y).")
+	f.Add("## only a comment\nr(a).")
+	f.Add("broken((")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		for _, q := range prog.Queries {
+			_ = q.String()
+		}
+		for _, fact := range prog.Facts {
+			if !fact.IsGround() {
+				t.Fatalf("non-ground fact accepted: %v", fact)
+			}
+		}
+	})
+}

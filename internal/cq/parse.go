@@ -1,0 +1,360 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Program is the result of parsing a datalog-style text: named rules
+// (queries/views) and ground facts.
+type Program struct {
+	Queries []*Query
+	Facts   []Atom
+}
+
+// ParseQuery parses a single rule such as
+//
+//	q(X,Y) :- r(X,Z), s(Z,Y), Z < 5, X != Y.
+//
+// The trailing period is optional. Variables begin with an upper-case letter
+// or underscore; constants are lower-case identifiers, numbers, or quoted
+// strings ('like this').
+func ParseQuery(src string) (*Query, error) {
+	p := newParser(src)
+	q, err := p.rule()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokDot)
+	if p.cur.kind != tokEOF {
+		return nil, p.errorf("trailing input after query: %q", p.cur.text)
+	}
+	if q == nil {
+		return nil, p.errorf("expected a rule with a body, got a fact")
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error; intended for tests and
+// examples with literal query text.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseProgram parses a sequence of rules and facts separated by periods.
+// Lines starting with '%' or '#' are comments.
+func ParseProgram(src string) (*Program, error) {
+	p := newParser(src)
+	prog := &Program{}
+	for p.cur.kind != tokEOF {
+		q, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		if q != nil {
+			prog.Queries = append(prog.Queries, q)
+		} else {
+			prog.Facts = append(prog.Facts, p.lastFact)
+		}
+		if !p.accept(tokDot) && p.cur.kind != tokEOF {
+			return nil, p.errorf("expected '.' between statements, got %q", p.cur.text)
+		}
+	}
+	return prog, nil
+}
+
+// ParseViews parses a program and returns its rules, requiring that no facts
+// appear. It is a convenience for view-set files.
+func ParseViews(src string) ([]*Query, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Facts) > 0 {
+		return nil, fmt.Errorf("cq: unexpected fact %s in view definitions", prog.Facts[0])
+	}
+	return prog.Queries, nil
+}
+
+type tokKind uint8
+
+const (
+	tokEOF   tokKind = iota
+	tokIdent         // lower-case identifier or quoted constant
+	tokVar           // upper-case identifier or _name
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokOp      // comparison operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src      string
+	pos      int
+	cur      token
+	lastFact Atom
+}
+
+func newParser(src string) *parser {
+	p := &parser{src: src}
+	p.next()
+	return p
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.cur.pos, len(p.src))], "\n")
+	return fmt.Errorf("cq: parse error at line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() {
+	// Skip whitespace and comments.
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '%' || c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	start := p.pos
+	if p.pos >= len(p.src) {
+		p.cur = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.cur = token{tokLParen, "(", start}
+	case c == ')':
+		p.pos++
+		p.cur = token{tokRParen, ")", start}
+	case c == ',':
+		p.pos++
+		p.cur = token{tokComma, ",", start}
+	case c == '.':
+		p.pos++
+		p.cur = token{tokDot, ".", start}
+	case c == ':' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '-':
+		p.pos += 2
+		p.cur = token{tokImplies, ":-", start}
+	case c == '<' || c == '>' || c == '=' || c == '!':
+		op := string(c)
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '=' {
+			op += "="
+			p.pos++
+		}
+		p.cur = token{tokOp, op, start}
+	case c == '\'':
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			sb.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			p.cur = token{tokEOF, "", start} // unterminated; caught by caller expecting ident
+			return
+		}
+		p.pos++ // closing quote
+		p.cur = token{tokIdent, sb.String(), start}
+	case c >= '0' && c <= '9' || c == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9':
+		p.pos++
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9') {
+			p.pos++
+		}
+		p.cur = token{tokNumber, p.src[start:p.pos], start}
+	case isIdentStart(rune(c)):
+		p.pos++
+		for p.pos < len(p.src) && isIdentPart(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		text := p.src[start:p.pos]
+		if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
+			p.cur = token{tokVar, text, start}
+		} else {
+			p.cur = token{tokIdent, text, start}
+		}
+	default:
+		p.cur = token{tokEOF, string(c), start}
+		p.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur.kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur.kind != k {
+		return token{}, p.errorf("expected %s, got %q", what, p.cur.text)
+	}
+	t := p.cur
+	p.next()
+	return t, nil
+}
+
+// rule parses "head :- body" or a ground fact "pred(consts)". For a fact it
+// returns (nil, nil) and stores the atom in p.lastFact.
+func (p *parser) rule() (*Query, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokImplies {
+		if !head.IsGround() {
+			return nil, p.errorf("fact %s contains variables; did you forget ':-'?", head)
+		}
+		p.lastFact = head
+		return nil, nil
+	}
+	p.next() // consume :-
+	q := &Query{Head: head}
+	for {
+		item, comp, isComp, err := p.bodyItem()
+		if err != nil {
+			return nil, err
+		}
+		if isComp {
+			q.Comparisons = append(q.Comparisons, comp)
+		} else {
+			q.Body = append(q.Body, item)
+		}
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	return q, nil
+}
+
+// bodyItem parses either a relational atom or a comparison.
+func (p *parser) bodyItem() (Atom, Comparison, bool, error) {
+	// A comparison starts with a term followed by an operator; an atom
+	// starts with an identifier followed by '('.
+	if p.cur.kind == tokIdent || p.cur.kind == tokVar || p.cur.kind == tokNumber {
+		// Look ahead: save state.
+		savePos, saveCur := p.pos, p.cur
+		left, err := p.term()
+		if err != nil {
+			return Atom{}, Comparison{}, false, err
+		}
+		if p.cur.kind == tokOp {
+			opTok := p.cur
+			p.next()
+			right, err := p.term()
+			if err != nil {
+				return Atom{}, Comparison{}, false, err
+			}
+			op, err := parseOp(opTok.text)
+			if err != nil {
+				return Atom{}, Comparison{}, false, p.errorf("%v", err)
+			}
+			return Atom{}, Comparison{Left: left, Op: op, Right: right}, true, nil
+		}
+		// Not a comparison: rewind and parse an atom.
+		p.pos, p.cur = savePos, saveCur
+	}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	return a, Comparison{}, false, nil
+}
+
+func parseOp(s string) (CompOp, error) {
+	switch s {
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	case "=", "==":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}
+
+func (p *parser) atom() (Atom, error) {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	if p.cur.kind != tokRParen {
+		for {
+			t, err := p.term()
+			if err != nil {
+				return Atom{}, err
+			}
+			args = append(args, t)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: name.text, Args: args}, nil
+}
+
+func (p *parser) term() (Term, error) {
+	switch p.cur.kind {
+	case tokVar:
+		t := Var(p.cur.text)
+		p.next()
+		return t, nil
+	case tokIdent:
+		t := Const(p.cur.text)
+		p.next()
+		return t, nil
+	case tokNumber:
+		t := Const(p.cur.text)
+		p.next()
+		return t, nil
+	default:
+		return Term{}, p.errorf("expected a term, got %q", p.cur.text)
+	}
+}

@@ -1,0 +1,236 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst maps variable names to terms. Applying a substitution replaces every
+// occurrence of a bound variable by its image; unbound variables are left in
+// place. Substitutions are applied in one pass (no chasing of chains), so
+// callers composing substitutions should use Compose.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind adds a binding and reports whether it is consistent with an existing
+// one (binding the same variable to a different term fails).
+func (s Subst) Bind(v string, t Term) bool {
+	if old, ok := s[v]; ok {
+		return old == t
+	}
+	s[v] = t
+	return true
+}
+
+// ApplyTerm applies the substitution to a single term.
+func (s Subst) ApplyTerm(t Term) Term {
+	if t.IsVar() {
+		if img, ok := s[t.Lex]; ok {
+			return img
+		}
+	}
+	return t
+}
+
+// ApplyAtom applies the substitution to every argument of an atom.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.ApplyTerm(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyComparison applies the substitution to both sides of a comparison.
+func (s Subst) ApplyComparison(c Comparison) Comparison {
+	return Comparison{Left: s.ApplyTerm(c.Left), Op: c.Op, Right: s.ApplyTerm(c.Right)}
+}
+
+// ApplyQuery applies the substitution to the head, body and comparisons of a
+// query, returning a new query.
+func (s Subst) ApplyQuery(q *Query) *Query {
+	body := make([]Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = s.ApplyAtom(a)
+	}
+	comps := make([]Comparison, len(q.Comparisons))
+	for i, c := range q.Comparisons {
+		comps[i] = s.ApplyComparison(c)
+	}
+	return &Query{Head: s.ApplyAtom(q.Head), Body: body, Comparisons: comps}
+}
+
+// Compose returns the substitution equivalent to applying s first and then
+// t: (s.Compose(t))(x) = t(s(x)). Bindings of t for variables not bound by s
+// are carried over.
+func (s Subst) Compose(t Subst) Subst {
+	out := make(Subst, len(s)+len(t))
+	for v, img := range s {
+		out[v] = t.ApplyTerm(img)
+	}
+	for v, img := range t {
+		if _, ok := out[v]; !ok {
+			out[v] = img
+		}
+	}
+	return out
+}
+
+// String renders the substitution deterministically, e.g. "{X->a, Y->Z}".
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "->" + s[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Walk follows chains of variable bindings to their end, guarding against
+// cycles (members of a cyclic chain are all equal; the walk stops at the
+// first repeated variable).
+func (s Subst) Walk(t Term) Term {
+	var seen map[string]bool
+	for t.IsVar() {
+		next, ok := s[t.Lex]
+		if !ok {
+			return t
+		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		if seen[t.Lex] {
+			return t
+		}
+		seen[t.Lex] = true
+		t = next
+	}
+	return t
+}
+
+// Resolved returns a substitution in which every binding is fully chased:
+// Resolved()[x] is the end of x's binding chain. Applying the result once
+// is equivalent to applying s until fixpoint.
+func (s Subst) Resolved() Subst {
+	out := make(Subst, len(s))
+	for v := range s {
+		out[v] = s.Walk(Var(v))
+	}
+	return out
+}
+
+// UnifyTerms attempts to extend s so that a and b become equal, treating
+// variables on both sides as unifiable. It reports whether unification
+// succeeded; on failure s may be partially extended (clone first if needed).
+func (s Subst) UnifyTerms(a, b Term) bool {
+	a, b = s.Walk(a), s.Walk(b)
+	switch {
+	case a == b:
+		return true
+	case a.IsVar():
+		return s.Bind(a.Lex, b)
+	case b.IsVar():
+		return s.Bind(b.Lex, a)
+	default:
+		return false // distinct constants
+	}
+}
+
+// UnifyAtoms attempts to extend s so that atoms a and b become equal.
+func (s Subst) UnifyAtoms(a, b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !s.UnifyTerms(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchAtom attempts to extend s so that s(pattern) == target, binding
+// variables of the pattern only (one-way matching, as used by containment
+// mappings). target may contain variables; they are treated as constants of
+// the target query.
+func (s Subst) MatchAtom(pattern, target Atom) bool {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return false
+	}
+	for i := range pattern.Args {
+		pt, tt := pattern.Args[i], target.Args[i]
+		if pt.IsVar() {
+			if !s.Bind(pt.Lex, tt) {
+				return false
+			}
+			continue
+		}
+		if pt != tt {
+			return false
+		}
+	}
+	return true
+}
+
+// Freshener generates fresh variable names that cannot collide with names it
+// has seen. Use one Freshener per renaming session.
+type Freshener struct {
+	prefix string
+	n      int
+	taken  map[string]bool
+}
+
+// NewFreshener returns a Freshener producing names prefix0, prefix1, ...
+// skipping any name registered via Reserve.
+func NewFreshener(prefix string) *Freshener {
+	return &Freshener{prefix: prefix, taken: make(map[string]bool)}
+}
+
+// Reserve marks every variable of q as taken.
+func (f *Freshener) Reserve(q *Query) {
+	for _, v := range q.Vars() {
+		f.taken[v.Lex] = true
+	}
+}
+
+// ReserveName marks one name as taken.
+func (f *Freshener) ReserveName(name string) { f.taken[name] = true }
+
+// Fresh returns a new variable distinct from all reserved and previously
+// generated names.
+func (f *Freshener) Fresh() Term {
+	for {
+		name := fmt.Sprintf("%s%d", f.prefix, f.n)
+		f.n++
+		if !f.taken[name] {
+			f.taken[name] = true
+			return Var(name)
+		}
+	}
+}
+
+// RenameApart returns a copy of q whose variables are all renamed to fresh
+// names drawn from f, together with the renaming used.
+func (f *Freshener) RenameApart(q *Query) (*Query, Subst) {
+	s := NewSubst()
+	for _, v := range q.Vars() {
+		s[v.Lex] = f.Fresh()
+	}
+	return s.ApplyQuery(q), s
+}

@@ -1,0 +1,123 @@
+// Package cq defines the conjunctive-query data model used throughout the
+// library: terms, atoms, comparison predicates, queries and unions of
+// queries, together with substitutions, renaming, a datalog-style parser and
+// a printer.
+//
+// The model follows the conventions of Levy, Mendelzon, Sagiv and Srivastava,
+// "Answering Queries Using Views" (PODS 1995): a conjunctive query has a head
+// atom, a body of relational subgoals, and an optional conjunction of
+// arithmetic comparison predicates over a densely ordered domain.
+package cq
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TermKind discriminates the two kinds of terms appearing in queries.
+type TermKind uint8
+
+const (
+	// Variable is a query variable (written with a leading upper-case
+	// letter or underscore in the surface syntax).
+	Variable TermKind = iota
+	// Constant is a constant symbol (lower-case identifier, number, or
+	// quoted string in the surface syntax).
+	Constant
+)
+
+// Term is a variable or a constant. Terms are small comparable values and
+// may be used as map keys.
+type Term struct {
+	Kind TermKind
+	// Lex is the variable name or the constant's lexeme.
+	Lex string
+}
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{Kind: Variable, Lex: name} }
+
+// Const returns a constant term with the given lexeme.
+func Const(lexeme string) Term { return Term{Kind: Constant, Lex: lexeme} }
+
+// IntConst returns a numeric constant term.
+func IntConst(v int64) Term { return Term{Kind: Constant, Lex: strconv.FormatInt(v, 10)} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == Variable }
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t.Kind == Constant }
+
+// Num reports the numeric value of a constant term, if it has one.
+// Variables and non-numeric constants return ok=false.
+func (t Term) Num() (v float64, ok bool) {
+	if t.Kind != Constant {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Lex, 64)
+	return v, err == nil
+}
+
+// String renders the term in surface syntax. Constants whose lexeme could be
+// mistaken for a variable or that contain separators are quoted.
+func (t Term) String() string {
+	if t.Kind == Variable {
+		return t.Lex
+	}
+	if needsQuoting(t.Lex) {
+		return "'" + t.Lex + "'"
+	}
+	return t.Lex
+}
+
+func needsQuoting(lex string) bool {
+	if lex == "" {
+		return true
+	}
+	if _, err := strconv.ParseFloat(lex, 64); err == nil {
+		return false
+	}
+	c := lex[0]
+	if !(c >= 'a' && c <= 'z') {
+		return true
+	}
+	for i := 0; i < len(lex); i++ {
+		c := lex[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// CompareConst orders two constant terms: numerically when both lexemes are
+// numeric, lexicographically otherwise. It reports -1, 0 or +1. Calling it
+// with variable terms is a programming error and panics.
+func CompareConst(a, b Term) int {
+	if a.Kind != Constant || b.Kind != Constant {
+		panic(fmt.Sprintf("cq: CompareConst on non-constant terms %v, %v", a, b))
+	}
+	av, aok := a.Num()
+	bv, bok := b.Num()
+	if aok && bok {
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.Lex < b.Lex:
+		return -1
+	case a.Lex > b.Lex:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,191 @@
+package datalog
+
+import (
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// Connected-component decomposition. A conjunctive query whose join graph
+// is disconnected would otherwise evaluate as a cross product of its
+// components; rewritings produced by the view-based algorithms frequently
+// have this shape (several view atoms sharing no variables). Evaluating
+// each component independently, projecting onto the head variables early,
+// and combining the (small) projected results turns an O(∏ |component|)
+// enumeration into O(Σ |component| + |answers|).
+
+// component is one connected piece of a query's body.
+type component struct {
+	atoms []cq.Atom
+	comps []cq.Comparison
+	// headVars are the head variables covered by this component, in
+	// first-occurrence order of the query head.
+	headVars []string
+}
+
+// splitComponents partitions the body atoms and comparisons of q into
+// connected components. Comparisons act as edges too: a comparison whose
+// variables span two components merges them.
+func splitComponents(q *cq.Query) []component {
+	n := len(q.Body)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Atoms sharing a variable are connected.
+	varFirst := make(map[string]int)
+	for i, a := range q.Body {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if j, ok := varFirst[t.Lex]; ok {
+				union(i, j)
+			} else {
+				varFirst[t.Lex] = i
+			}
+		}
+	}
+	// Comparisons connect the atoms owning their variables.
+	for _, c := range q.Comparisons {
+		var owners []int
+		for _, t := range []cq.Term{c.Left, c.Right} {
+			if t.IsVar() {
+				if j, ok := varFirst[t.Lex]; ok {
+					owners = append(owners, j)
+				}
+			}
+		}
+		for i := 1; i < len(owners); i++ {
+			union(owners[0], owners[i])
+		}
+	}
+
+	groups := make(map[int]*component)
+	var order []int
+	for i, a := range q.Body {
+		root := find(i)
+		g, ok := groups[root]
+		if !ok {
+			g = &component{}
+			groups[root] = g
+			order = append(order, root)
+		}
+		g.atoms = append(g.atoms, a)
+	}
+	for _, c := range q.Comparisons {
+		root := -1
+		for _, t := range []cq.Term{c.Left, c.Right} {
+			if t.IsVar() {
+				if j, ok := varFirst[t.Lex]; ok {
+					root = find(j)
+					break
+				}
+			}
+		}
+		if root >= 0 {
+			groups[root].comps = append(groups[root].comps, c)
+		} else if len(order) > 0 {
+			// Constant-only comparison: attach to the first component (it
+			// filters everything or nothing).
+			groups[order[0]].comps = append(groups[order[0]].comps, c)
+		}
+	}
+	// Record which head variables each component provides.
+	seen := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if !t.IsVar() || seen[t.Lex] {
+			continue
+		}
+		seen[t.Lex] = true
+		if j, ok := varFirst[t.Lex]; ok {
+			groups[find(j)].headVars = append(groups[find(j)].headVars, t.Lex)
+		}
+	}
+	out := make([]component, 0, len(order))
+	for _, root := range order {
+		out = append(out, *groups[root])
+	}
+	return out
+}
+
+// evalDecomposed evaluates the query by components and invokes yield with
+// complete head-variable bindings. It reports false if yield asked to stop.
+func evalDecomposed(db relSource, comps []component, yield func(Bindings) bool) bool {
+	// Evaluate each component, projecting onto its head variables.
+	type projected struct {
+		vars []string
+		rows [][]string
+	}
+	parts := make([]projected, 0, len(comps))
+	for _, c := range comps {
+		p := projected{vars: c.headVars}
+		dedup := make(map[string]bool)
+		nonEmpty := false
+		needed := make(map[string]bool, len(c.headVars))
+		for _, v := range c.headVars {
+			needed[v] = true
+		}
+		for _, cmp := range c.comps {
+			for _, t := range []cq.Term{cmp.Left, cmp.Right} {
+				if t.IsVar() {
+					needed[t.Lex] = true
+				}
+			}
+		}
+		atoms, src := projectBody(db, c.atoms, needed)
+		joinBody(src, atoms, c.comps, make(Bindings), func(b Bindings) bool {
+			nonEmpty = true
+			if len(p.vars) == 0 {
+				return false // pure existence check: one witness suffices
+			}
+			row := make([]string, len(p.vars))
+			for i, v := range p.vars {
+				row[i] = b[v]
+			}
+			key := storage.Tuple(row).Key()
+			if !dedup[key] {
+				dedup[key] = true
+				p.rows = append(p.rows, row)
+			}
+			return true
+		})
+		if !nonEmpty {
+			return true // some component has no match: no answers at all
+		}
+		if len(p.vars) > 0 {
+			parts = append(parts, p)
+		}
+	}
+	// Combine the projected rows (cross product over distinct projections,
+	// which is exactly the answer set's structure).
+	b := make(Bindings)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(parts) {
+			return yield(b)
+		}
+		for _, row := range parts[i].rows {
+			for j, v := range parts[i].vars {
+				b[v] = row[j]
+			}
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		for _, v := range parts[i].vars {
+			delete(b, v)
+		}
+		return true
+	}
+	return rec(0)
+}

@@ -1,0 +1,287 @@
+// Package datalog evaluates conjunctive queries, unions of conjunctive
+// queries, and (recursive) datalog programs with Skolem function terms over
+// the in-memory storage substrate.
+//
+// Conjunctive queries are evaluated by backtracking joins with greedy
+// bound-first atom ordering and per-column hash indexes. Programs are
+// evaluated semi-naively: each iteration joins the per-relation delta from
+// the previous round against the full relations, until no new tuples are
+// derived. Skolem terms — needed by the inverse-rules rewriting algorithm —
+// are constructed as tagged values in the data domain.
+package datalog
+
+import (
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// Bindings maps variable names to data values during evaluation.
+type Bindings map[string]string
+
+// relSource resolves predicate names to relations. *storage.Database
+// satisfies it; the projection layer wraps one database over another.
+type relSource interface {
+	Relation(pred string) *storage.Relation
+}
+
+// layered resolves from the scratch database first, then the base.
+type layered struct {
+	scratch *storage.Database
+	base    relSource
+}
+
+func (l layered) Relation(pred string) *storage.Relation {
+	if r := l.scratch.Relation(pred); r != nil {
+		return r
+	}
+	return l.base.Relation(pred)
+}
+
+// EvalQuery evaluates a conjunctive query over the database and returns the
+// distinct head tuples in deterministic (sorted) order. Predicates missing
+// from the database are treated as empty relations. Queries whose join
+// graph is disconnected are evaluated per connected component with early
+// projection, avoiding cross-product enumeration.
+func EvalQuery(db *storage.Database, q *cq.Query) []storage.Tuple {
+	var out []storage.Tuple
+	seen := make(map[string]bool)
+	collect := func(b Bindings) bool {
+		t := headTuple(q.Head, b)
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+		return true
+	}
+	if comps := splitComponents(q); len(comps) > 1 {
+		evalDecomposed(db, comps, collect)
+	} else {
+		atoms, src := projectBody(db, q.Body, neededVars(q))
+		joinBody(src, atoms, q.Comparisons, make(Bindings), collect)
+	}
+	return storage.SortTuples(out)
+}
+
+// EvalQueryNaive evaluates without connected-component decomposition or
+// projection pushdown — the unoptimised reference used by the F7 ablation
+// experiment. Results are identical to EvalQuery.
+func EvalQueryNaive(db *storage.Database, q *cq.Query) []storage.Tuple {
+	var out []storage.Tuple
+	seen := make(map[string]bool)
+	joinBody(db, q.Body, q.Comparisons, make(Bindings), func(b Bindings) bool {
+		t := headTuple(q.Head, b)
+		if k := t.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+		return true
+	})
+	return storage.SortTuples(out)
+}
+
+// EvalUnion evaluates a union of conjunctive queries, returning distinct
+// tuples in sorted order.
+func EvalUnion(db *storage.Database, u *cq.Union) []storage.Tuple {
+	var out []storage.Tuple
+	seen := make(map[string]bool)
+	for _, q := range u.Queries {
+		for _, t := range EvalQuery(db, q) {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return storage.SortTuples(out)
+}
+
+func headTuple(head cq.Atom, b Bindings) storage.Tuple {
+	t := make(storage.Tuple, len(head.Args))
+	for i, a := range head.Args {
+		if a.IsVar() {
+			t[i] = b[a.Lex]
+		} else {
+			t[i] = a.Lex
+		}
+	}
+	return t
+}
+
+// joinBody enumerates bindings satisfying all atoms and comparisons,
+// invoking yield for each; enumeration stops if yield returns false.
+func joinBody(db relSource, atoms []cq.Atom, comps []cq.Comparison, b Bindings, yield func(Bindings) bool) bool {
+	order := planOrder(db, atoms, b)
+	return joinStep(db, atoms, order, 0, comps, b, yield)
+}
+
+// planOrder chooses a join order: repeatedly pick the atom with the most
+// already-bound argument positions, breaking ties by smaller relation.
+func planOrder(db relSource, atoms []cq.Atom, initial Bindings) []int {
+	bound := make(map[string]bool, len(initial))
+	for v := range initial {
+		bound[v] = true
+	}
+	used := make([]bool, len(atoms))
+	order := make([]int, 0, len(atoms))
+	for len(order) < len(atoms) {
+		best, bestScore, bestSize := -1, -1, 0
+		for i, a := range atoms {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range a.Args {
+				if t.IsConst() || t.IsVar() && bound[t.Lex] {
+					score++
+				}
+			}
+			size := 0
+			if r := db.Relation(a.Pred); r != nil {
+				size = r.Len()
+			}
+			if best == -1 || score > bestScore || score == bestScore && size < bestSize {
+				best, bestScore, bestSize = i, score, size
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range atoms[best].Args {
+			if t.IsVar() {
+				bound[t.Lex] = true
+			}
+		}
+	}
+	return order
+}
+
+func joinStep(db relSource, atoms []cq.Atom, order []int, depth int, comps []cq.Comparison, b Bindings, yield func(Bindings) bool) bool {
+	if depth == len(order) {
+		if !checkComparisons(comps, b) {
+			return true
+		}
+		return yield(b)
+	}
+	atom := atoms[order[depth]]
+	rel := db.Relation(atom.Pred)
+	if rel == nil {
+		return true // empty relation: no matches, keep enumerating siblings
+	}
+	candidates := candidateTuples(rel, atom, b)
+	for _, tuple := range candidates {
+		trail := bindTuple(atom, tuple, b)
+		if trail == nil {
+			continue
+		}
+		if !joinStep(db, atoms, order, depth+1, comps, b, yield) {
+			return false
+		}
+		for _, v := range trail {
+			delete(b, v)
+		}
+	}
+	return true
+}
+
+// candidateTuples narrows the scan using an index on the first bound column.
+func candidateTuples(rel *storage.Relation, atom cq.Atom, b Bindings) []storage.Tuple {
+	for i, t := range atom.Args {
+		switch {
+		case t.IsConst():
+			return rel.Lookup(i, t.Lex)
+		case t.IsVar():
+			if v, ok := b[t.Lex]; ok {
+				return rel.Lookup(i, v)
+			}
+		}
+	}
+	return rel.Tuples()
+}
+
+// bindTuple extends b so the atom matches the tuple, returning the list of
+// newly bound variables, or nil on mismatch (with b restored).
+func bindTuple(atom cq.Atom, tuple storage.Tuple, b Bindings) []string {
+	trail := make([]string, 0, len(atom.Args))
+	for i, t := range atom.Args {
+		if t.IsConst() {
+			if t.Lex != tuple[i] {
+				for _, v := range trail {
+					delete(b, v)
+				}
+				return nil
+			}
+			continue
+		}
+		if v, ok := b[t.Lex]; ok {
+			if v != tuple[i] {
+				for _, v := range trail {
+					delete(b, v)
+				}
+				return nil
+			}
+			continue
+		}
+		b[t.Lex] = tuple[i]
+		trail = append(trail, t.Lex)
+	}
+	return trail
+}
+
+func checkComparisons(comps []cq.Comparison, b Bindings) bool {
+	for _, c := range comps {
+		l, ok1 := valueOf(c.Left, b)
+		r, ok2 := valueOf(c.Right, b)
+		if !ok1 || !ok2 {
+			return false // unbound comparison variable: unsafe query
+		}
+		if !c.Op.EvalConst(cq.Const(l), cq.Const(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueOf(t cq.Term, b Bindings) (string, bool) {
+	if t.IsConst() {
+		return t.Lex, true
+	}
+	v, ok := b[t.Lex]
+	return v, ok
+}
+
+// CountQuery returns the number of distinct answers without materialising
+// them in sorted order.
+func CountQuery(db *storage.Database, q *cq.Query) int {
+	seen := make(map[string]bool)
+	joinBody(db, q.Body, q.Comparisons, make(Bindings), func(b Bindings) bool {
+		seen[headTuple(q.Head, b).Key()] = true
+		return true
+	})
+	return len(seen)
+}
+
+// MaterializeView evaluates a view definition and stores its extent in dst
+// under the view's name.
+func MaterializeView(src *storage.Database, view *cq.Query, dst *storage.Database) error {
+	rel, err := dst.Ensure(view.Name(), view.Arity())
+	if err != nil {
+		return err
+	}
+	for _, t := range EvalQuery(src, view) {
+		rel.Insert(t)
+	}
+	return nil
+}
+
+// MaterializeViews evaluates every view over base and returns a database
+// holding only the view extents (the data-integration setting: the query
+// processor sees view relations, not base relations).
+func MaterializeViews(base *storage.Database, views []*cq.Query) (*storage.Database, error) {
+	out := storage.NewDatabase()
+	for _, v := range views {
+		if err := MaterializeView(base, v, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

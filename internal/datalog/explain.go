@@ -1,0 +1,114 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// Plan describes how EvalQuery will execute a conjunctive query: its
+// connected components, the projection decisions, and per-component join
+// orders with access-path notes. It exists for diagnostics and for the
+// cost model's documentation — production code paths do not depend on it.
+type Plan struct {
+	Components []ComponentPlan
+}
+
+// ComponentPlan is the plan for one connected component.
+type ComponentPlan struct {
+	// Steps are the joined atoms in execution order.
+	Steps []StepPlan
+	// HeadVars are the variables this component contributes to the head.
+	HeadVars []string
+	// ExistenceOnly marks components with no head variables (evaluated as
+	// a boolean guard).
+	ExistenceOnly bool
+}
+
+// StepPlan is one join step.
+type StepPlan struct {
+	Atom cq.Atom
+	// Projected reports whether don't-care columns were dropped.
+	Projected bool
+	// Access describes the expected access path: "scan" or "index(col=k)".
+	Access string
+	// Rows is the relation size at planning time.
+	Rows int
+}
+
+// Explain computes the execution plan of q over db without evaluating it.
+func Explain(db *storage.Database, q *cq.Query) Plan {
+	var plan Plan
+	for _, c := range splitComponents(q) {
+		needed := make(map[string]bool, len(c.headVars))
+		for _, v := range c.headVars {
+			needed[v] = true
+		}
+		for _, cmp := range c.comps {
+			for _, t := range []cq.Term{cmp.Left, cmp.Right} {
+				if t.IsVar() {
+					needed[t.Lex] = true
+				}
+			}
+		}
+		atoms, src := projectBody(db, c.atoms, needed)
+		order := planOrder(src, atoms, make(Bindings))
+		cp := ComponentPlan{HeadVars: c.headVars, ExistenceOnly: len(c.headVars) == 0}
+		bound := make(map[string]bool)
+		for _, idx := range order {
+			a := atoms[idx]
+			step := StepPlan{Atom: a, Projected: strings.HasPrefix(a.Pred, "\x00π")}
+			if r := src.Relation(a.Pred); r != nil {
+				step.Rows = r.Len()
+			}
+			step.Access = "scan"
+			for i, t := range a.Args {
+				if t.IsConst() || t.IsVar() && bound[t.Lex] {
+					step.Access = fmt.Sprintf("index(col=%d)", i)
+					break
+				}
+			}
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[t.Lex] = true
+				}
+			}
+			cp.Steps = append(cp.Steps, step)
+		}
+		plan.Components = append(plan.Components, cp)
+	}
+	return plan
+}
+
+// String renders the plan for humans.
+func (p Plan) String() string {
+	var sb strings.Builder
+	for i, c := range p.Components {
+		fmt.Fprintf(&sb, "component %d", i)
+		if c.ExistenceOnly {
+			sb.WriteString(" (existence check)")
+		} else {
+			fmt.Fprintf(&sb, " -> %s", strings.Join(c.HeadVars, ","))
+		}
+		sb.WriteByte('\n')
+		for j, s := range c.Steps {
+			name := s.Atom.Pred
+			if s.Projected {
+				name = "π(" + strings.TrimPrefix(name, "\x00π") + ")"
+			}
+			fmt.Fprintf(&sb, "  %d. %s%v  %s rows=%d", j+1, name, renderArgs(s.Atom.Args), s.Access, s.Rows)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func renderArgs(args []cq.Term) string {
+	parts := make([]string, len(args))
+	for i, t := range args {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,75 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestExplainSingleComponent(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"}, [2]string{"b", "c"})
+	p := Explain(db, mustQ("q(X,Z) :- e(X,Y), e(Y,Z)"))
+	if len(p.Components) != 1 {
+		t.Fatalf("components = %d", len(p.Components))
+	}
+	steps := p.Components[0].Steps
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0].Access != "scan" {
+		t.Fatalf("first step access = %q", steps[0].Access)
+	}
+	if !strings.HasPrefix(steps[1].Access, "index(") {
+		t.Fatalf("second step should use the index: %q", steps[1].Access)
+	}
+	if steps[0].Rows != 2 {
+		t.Fatalf("rows = %d", steps[0].Rows)
+	}
+	out := p.String()
+	if !strings.Contains(out, "component 0") || !strings.Contains(out, "index(") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestExplainProjectionVisible(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("r", storage.Tuple{"a", "x"})
+	p := Explain(db, mustQ("q(X) :- r(X,F)"))
+	if !p.Components[0].Steps[0].Projected {
+		t.Fatal("projection not reflected in plan")
+	}
+	if !strings.Contains(p.String(), "π(") {
+		t.Fatalf("render misses projection marker:\n%s", p)
+	}
+}
+
+func TestExplainComponentsAndExistence(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Insert("a", storage.Tuple{"1"})
+	db.Insert("guard", storage.Tuple{"g"})
+	p := Explain(db, mustQ("q(X) :- a(X), guard(W)"))
+	if len(p.Components) != 2 {
+		t.Fatalf("components = %d", len(p.Components))
+	}
+	foundExistence := false
+	for _, c := range p.Components {
+		if c.ExistenceOnly {
+			foundExistence = true
+		}
+	}
+	if !foundExistence {
+		t.Fatal("existence-only component not marked")
+	}
+	if !strings.Contains(p.String(), "existence check") {
+		t.Fatalf("render:\n%s", p)
+	}
+}
+
+func TestExplainConstantUsesIndex(t *testing.T) {
+	db := edgeDB([2]string{"a", "b"})
+	p := Explain(db, mustQ("q(Y) :- e(a,Y)"))
+	if p.Components[0].Steps[0].Access != "index(col=0)" {
+		t.Fatalf("access = %q", p.Components[0].Steps[0].Access)
+	}
+}

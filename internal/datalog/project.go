@@ -1,0 +1,101 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// Projection pushdown. View-based rewritings routinely contain atoms with
+// "don't care" positions — existential variables that occur nowhere else
+// and do not reach the head. Enumerating their values multiplies the join
+// work without changing the answer set. projectBody replaces each such
+// atom by a distinct projection of its relation onto the relevant columns,
+// materialised once in a scratch database.
+
+// projectBody rewrites atoms so that don't-care argument positions are
+// dropped, materialising projected relations into a scratch database. The
+// returned relSource resolves both projected and original relations.
+// needed lists the variables that must survive (head and comparison
+// variables); join variables (two or more occurrences across atoms) are
+// always kept.
+func projectBody(db relSource, atoms []cq.Atom, needed map[string]bool) ([]cq.Atom, relSource) {
+	occurrences := make(map[string]int)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				occurrences[t.Lex]++
+			}
+		}
+	}
+	keep := func(t cq.Term) bool {
+		if t.IsConst() {
+			return true
+		}
+		return needed[t.Lex] || occurrences[t.Lex] > 1
+	}
+
+	var scratch *storage.Database
+	out := make([]cq.Atom, len(atoms))
+	for i, a := range atoms {
+		var relevant []int
+		for pos, t := range a.Args {
+			if keep(t) {
+				relevant = append(relevant, pos)
+			}
+		}
+		if len(relevant) == len(a.Args) {
+			out[i] = a
+			continue
+		}
+		rel := db.Relation(a.Pred)
+		if rel == nil {
+			out[i] = a // missing relation: leave as-is, join yields nothing
+			continue
+		}
+		if scratch == nil {
+			scratch = storage.NewDatabase()
+		}
+		name := fmt.Sprintf("\x00π%d_%s", i, a.Pred)
+		proj, err := scratch.Ensure(name, len(relevant))
+		if err != nil {
+			out[i] = a
+			continue
+		}
+		for _, tuple := range rel.Tuples() {
+			row := make(storage.Tuple, len(relevant))
+			for j, pos := range relevant {
+				row[j] = tuple[pos]
+			}
+			proj.Insert(row)
+		}
+		args := make([]cq.Term, len(relevant))
+		for j, pos := range relevant {
+			args[j] = a.Args[pos]
+		}
+		out[i] = cq.Atom{Pred: name, Args: args}
+	}
+	if scratch == nil {
+		return out, db
+	}
+	return out, layered{scratch: scratch, base: db}
+}
+
+// neededVars collects the variables of the head and comparisons.
+func neededVars(q *cq.Query) map[string]bool {
+	needed := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			needed[t.Lex] = true
+		}
+	}
+	for _, c := range q.Comparisons {
+		for _, t := range []cq.Term{c.Left, c.Right} {
+			if t.IsVar() {
+				needed[t.Lex] = true
+			}
+		}
+	}
+	return needed
+}

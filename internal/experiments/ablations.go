@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/containment"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// T6SemiInterval measures the tractable comparison fragment the paper
+// identifies: when the containing query's comparisons are variable-vs-
+// constant (semi-interval), the polynomial single-mapping test is complete
+// and the dispatcher uses it instead of the exponential linearisation
+// enumeration.
+func T6SemiInterval() Table {
+	t := Table{
+		ID:      "T6",
+		Title:   "Semi-interval dispatch: polynomial complete test for var-vs-const comparisons",
+		Columns: []string{"chain", "comparisons", "dispatch_us", "linearise_us", "saving", "agree"},
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		q1 := workload.ChainQuery(k+1, true)
+		for i := 0; i <= k; i++ {
+			q1.Comparisons = append(q1.Comparisons, cq.NewComparison(
+				cq.Var(fmt.Sprintf("X%d", i)), cq.Ge, cq.IntConst(0)))
+		}
+		q2 := q1.Clone()
+		q2.Comparisons = append(q2.Comparisons, cq.NewComparison(
+			cq.Var("X0"), cq.Gt, cq.IntConst(1)))
+
+		var viaDispatch, viaComplete bool
+		fast := timeIt(func() { viaDispatch = containment.Contained(q2, q1) })
+		slow := timeIt(func() { viaComplete = containment.ContainedComplete(q2, q1) })
+		saving := "-"
+		if fast > 0 {
+			saving = fmt.Sprintf("%.0fx", float64(slow)/float64(fast))
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(k + 1), itoa(len(q1.Comparisons)), us(fast), us(slow), saving,
+			fmt.Sprint(viaDispatch == viaComplete),
+		})
+	}
+	t.Notes = "expected: dispatch cost stays flat while the linearisation test grows with the Fubini number; verdicts agree."
+	return t
+}
+
+// F7EvaluatorAblation measures the evaluator's two structural
+// optimisations — connected-component decomposition and projection
+// pushdown — against the naive backtracking join, on the disconnected and
+// don't-care-heavy member shapes that view rewritings produce.
+func F7EvaluatorAblation() Table {
+	t := Table{
+		ID:      "F7",
+		Title:   "Ablation: evaluator decomposition + projection vs naive join",
+		Columns: []string{"shape", "rows", "optimised_us", "naive_us", "speedup", "answers_equal"},
+	}
+	rng := rand.New(rand.NewSource(40))
+
+	type instance struct {
+		shape string
+		db    *storage.Database
+		q     *cq.Query
+	}
+	var instances []instance
+
+	// Shape 1: disconnected member (cross product without decomposition).
+	for _, rows := range []int{200, 800} {
+		db := storage.NewDatabase()
+		for i := 0; i < rows; i++ {
+			db.Insert("v1", storage.Tuple{fmt.Sprint(rng.Intn(rows))})
+			db.Insert("v2", storage.Tuple{fmt.Sprint(rng.Intn(rows))})
+			db.Insert("v3", storage.Tuple{fmt.Sprint(rng.Intn(rows))})
+		}
+		instances = append(instances, instance{
+			shape: "disconnected",
+			db:    db,
+			q:     cq.MustParseQuery("q(X) :- v1(X), v2(A), v3(B)"),
+		})
+	}
+	// Shape 2: connected chain with don't-care columns (projection).
+	for _, rows := range []int{200, 800} {
+		db := storage.NewDatabase()
+		for i := 0; i < rows; i++ {
+			db.Insert("v", storage.Tuple{
+				fmt.Sprint(rng.Intn(6)), fmt.Sprint(rng.Intn(7)),
+				fmt.Sprint(rng.Intn(5)), fmt.Sprint(i),
+			})
+		}
+		instances = append(instances, instance{
+			shape: "dont-care chain",
+			db:    db,
+			q:     cq.MustParseQuery("q(X0,X3) :- v(X0,X1,F0,F1), v(F2,X1,X2,F3), v(F4,F5,X2,X3)"),
+		})
+	}
+
+	for _, in := range instances {
+		var opt, naive []storage.Tuple
+		optTime := timeIt(func() { opt = datalog.EvalQuery(in.db, in.q) })
+		naiveTime := timeIt(func() { naive = datalog.EvalQueryNaive(in.db, in.q) })
+		speedup := "-"
+		if optTime > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(naiveTime)/float64(optTime))
+		}
+		t.Rows = append(t.Rows, []string{
+			in.shape, itoa(in.db.TotalTuples()), us(optTime), us(naiveTime), speedup,
+			fmt.Sprint(storage.TuplesEqual(opt, naive)),
+		})
+	}
+	t.Notes = "expected: orders-of-magnitude speedups on both shapes with identical answers; these member shapes dominate MCR evaluation (F4/F5)."
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+type queryT = cq.Query
+
+func mustParse(src string) *queryT { return cq.MustParseQuery(src) }
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID:      "X0",
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "note",
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== X0: demo ==", "long_column", "333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	if len(IDs()) != 13 {
+		t.Fatalf("IDs = %v", IDs())
+	}
+	for _, id := range IDs() {
+		run, ok := ByID(id)
+		if !ok || run == nil {
+			t.Fatalf("ByID(%s) missing", id)
+		}
+		if _, ok := ByID(strings.ToLower(id)); !ok {
+			t.Fatalf("ByID lowercase %s missing", id)
+		}
+	}
+	if _, ok := ByID("Z9"); ok {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestT1NoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped with -short")
+	}
+	tbl := T1RewritingLengthBound()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("length-bound violation: %v", row)
+		}
+	}
+}
+
+func TestT4EnginesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped with -short")
+	}
+	tbl := T4Containment()
+	if strings.Contains(tbl.Notes, "DISAGREEMENT") {
+		t.Fatalf("containment engines disagree:\n%s", tbl.Render())
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestT5WitnessRow(t *testing.T) {
+	tbl := T5ComparisonContainment()
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[2] != "sound=false" || last[3] != "complete=true" {
+		t.Fatalf("witness row wrong: %v", last)
+	}
+}
+
+func TestF5InvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped with -short")
+	}
+	tbl := F5CertainAnswers()
+	if !strings.Contains(tbl.Notes, "all-agree=true") || !strings.Contains(tbl.Notes, "all-sound=true") {
+		t.Fatalf("F5 invariants violated:\n%s", tbl.Render())
+	}
+}
+
+func TestF1RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped with -short")
+	}
+	tbl := F1ChainViews()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("F1 rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestF4Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped with -short")
+	}
+	tbl := F4InverseRulesEval()
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("F4 methods disagree: %v", row)
+		}
+	}
+}
+
+func TestRaceOne(t *testing.T) {
+	q := mustParse("q(X,Y) :- r(X,Z), s(Z,Y)")
+	vq := []string{"v1(A,B) :- r(A,B)", "v2(A,B) :- s(A,B)"}
+	var vs []*queryT
+	for _, s := range vq {
+		vs = append(vs, mustParse(s))
+	}
+	for _, algo := range []string{"bucket", "minicon", "equivalent"} {
+		if err := RaceOne(q, vs, algo); err != nil {
+			t.Fatalf("RaceOne(%s): %v", algo, err)
+		}
+	}
+	if err := RaceOne(q, vs, "nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

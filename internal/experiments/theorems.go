@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/workload"
+)
+
+// T1RewritingLengthBound validates the paper's R2 bound empirically: every
+// equivalent rewriting found on chain/star/random workloads has at most as
+// many subgoals as the (minimised) query.
+func T1RewritingLengthBound() Table {
+	t := Table{
+		ID:      "T1",
+		Title:   "Rewriting-length bound (paper R2: rewriting needs <= n subgoals)",
+		Columns: []string{"family", "n", "views", "rewritings", "max_len", "bound", "violations"},
+	}
+	type inst struct {
+		family string
+		q      *cq.Query
+		views  []*cq.Query
+	}
+	var instances []inst
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 7; n++ {
+		q := workload.ChainQuery(n, true)
+		views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(3*n))
+		instances = append(instances, inst{"chain", q, views})
+	}
+	for n := 2; n <= 6; n++ {
+		q := workload.StarQuery(n, true)
+		views := workload.StarViews(rng, n, true, workload.DefaultViewSpec(3*n))
+		instances = append(instances, inst{"star", q, views})
+	}
+	for i := 0; i < 5; i++ {
+		q := workload.RandomQuery(rng, 3+i%3, 3, 0.5)
+		views := workload.RandomViewsForQuery(rng, q, workload.DefaultViewSpec(10))
+		instances = append(instances, inst{"random", q, views})
+	}
+	totalViolations := 0
+	for _, in := range instances {
+		vs, err := core.NewViewSet(in.views...)
+		if err != nil {
+			continue
+		}
+		r := core.NewRewriter(vs)
+		r.Opt.MaxResults = core.AllRewritings
+		res, st := r.Rewrite(in.q)
+		maxLen, violations := 0, 0
+		bound := st.MinimizedBodyAtoms
+		for _, rw := range res {
+			if len(rw.Query.Body) > maxLen {
+				maxLen = len(rw.Query.Body)
+			}
+			if len(rw.Query.Body) > bound {
+				violations++
+			}
+		}
+		totalViolations += violations
+		t.Rows = append(t.Rows, []string{
+			in.family, itoa(len(in.q.Body)), itoa(len(in.views)),
+			itoa(len(res)), itoa(maxLen), itoa(bound), itoa(violations),
+		})
+	}
+	t.Notes = fmt.Sprintf("expected: violations = 0 everywhere (paper Theorem). total violations: %d", totalViolations)
+	return t
+}
+
+// T2ExistenceScaling contrasts the easy and hard regimes of the existence /
+// usability decision (paper R3, NP-completeness): subchain views decide
+// greedily, clique-pattern views embed k-clique detection.
+func T2ExistenceScaling() Table {
+	t := Table{
+		ID:      "T2",
+		Title:   "Existence-search scaling (paper R3: NP-complete in view size)",
+		Columns: []string{"k", "easy_us", "hard_us", "ratio", "hard_usable"},
+	}
+	rng := rand.New(rand.NewSource(2))
+	graphN := 12
+	for k := 3; k <= 5; k++ {
+		ev, eq := workload.EasyUsabilityInstance(k, 12)
+		easy := timeIt(func() { core.Usable(ev, eq) })
+
+		var hardTotal time.Duration
+		usableCount := 0
+		const trials = 2
+		for trial := 0; trial < trials; trial++ {
+			hv, hq := workload.HardUsabilityInstance(rng, k, graphN, 0.35)
+			hardTotal += timeIt(func() {
+				if core.Usable(hv, hq) {
+					usableCount++
+				}
+			})
+		}
+		hard := hardTotal / trials
+		ratio := "inf"
+		if easy > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(hard)/float64(easy))
+		}
+		t.Rows = append(t.Rows, []string{itoa(k), us(easy), us(hard), ratio, itoa(usableCount)})
+	}
+	t.Notes = "times in microseconds. expected: hard/easy ratio grows super-polynomially with k (k-clique embedded in usability)."
+	return t
+}
+
+// T3Usability measures the per-view usability decision across view-set
+// sizes: cost depends on the view, not on how many other views exist.
+func T3Usability() Table {
+	t := Table{
+		ID:      "T3",
+		Title:   "Usability decision cost vs view-set size",
+		Columns: []string{"views", "usable", "total_us", "per_view_us"},
+	}
+	rng := rand.New(rand.NewSource(3))
+	q := workload.ChainQuery(8, true)
+	for _, m := range []int{4, 16, 64, 256} {
+		views := workload.ChainViews(rng, 8, true, workload.DefaultViewSpec(m))
+		usable := 0
+		d := timeIt(func() {
+			for _, v := range views {
+				if core.Usable(v, q) {
+					usable++
+				}
+			}
+		})
+		t.Rows = append(t.Rows, []string{
+			itoa(m), itoa(usable), us(d), us(d / time.Duration(m)),
+		})
+	}
+	t.Notes = "expected: per-view cost roughly constant as the view set grows."
+	return t
+}
+
+// T4Containment measures the containment engine across query shapes and
+// sizes, comparing the indexed backtracking search against a naive
+// enumeration of atom assignments.
+func T4Containment() Table {
+	t := Table{
+		ID:      "T4",
+		Title:   "Containment engine: indexed backtracking vs naive enumeration",
+		Columns: []string{"family", "size", "contained", "indexed_us", "naive_us", "speedup"},
+	}
+	rng := rand.New(rand.NewSource(4))
+	type pair struct {
+		family string
+		q1, q2 *cq.Query
+	}
+	var pairs []pair
+	for _, n := range []int{4, 8, 12} {
+		// chain in chain: q2 is q1 with one extra random reused atom.
+		q1 := workload.ChainQuery(n, false)
+		q2 := q1.Clone()
+		q2.Body = append(q2.Body, q2.Body[rng.Intn(n)])
+		pairs = append(pairs, pair{"chain", q1, q2})
+	}
+	for _, n := range []int{4, 6, 8} {
+		q1 := workload.StarQuery(n, false)
+		q2 := q1.Clone()
+		q2.Body = append(q2.Body, q2.Body[rng.Intn(n)])
+		pairs = append(pairs, pair{"star", q1, q2})
+	}
+	for i := 0; i < 3; i++ {
+		q1 := workload.RandomQuery(rng, 5, 2, 0.6)
+		q2 := workload.RandomQuery(rng, 5, 2, 0.6)
+		pairs = append(pairs, pair{"random", q1, q2})
+	}
+	for _, p := range pairs {
+		var contained bool
+		indexed := timeIt(func() { contained = containment.Contained(p.q2, p.q1) })
+		var naiveRes, exhausted bool
+		naive := timeIt(func() { naiveRes, exhausted = naiveContained(p.q2, p.q1) })
+		if !exhausted && naiveRes != contained {
+			t.Notes = "DISAGREEMENT between engines — bug!"
+		}
+		naiveCell := us(naive)
+		if exhausted {
+			naiveCell = ">" + naiveCell + " (budget)"
+		}
+		speedup := "1x"
+		if indexed > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(naive)/float64(indexed))
+			if exhausted {
+				speedup = ">" + speedup
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			p.family, itoa(len(p.q1.Body)), fmt.Sprint(contained), us(indexed), naiveCell, speedup,
+		})
+	}
+	if t.Notes == "" {
+		t.Notes = "expected: indexed search at least matches naive enumeration; gap widens with size (budget = 2M assignments)."
+	}
+	return t
+}
+
+// naiveBudget bounds the assignments the naive engine may try before
+// giving up; exhausted runs are reported as lower bounds.
+const naiveBudget = 2_000_000
+
+// naiveContained is the unoptimised reference containment test: enumerate
+// every assignment of q1 atoms to same-predicate q2 atoms without variable
+// propagation, validating the substitution at the end. The second result
+// reports whether the work budget was exhausted before an answer was found.
+func naiveContained(q2, q1 *cq.Query) (found, exhausted bool) {
+	if len(q1.Head.Args) != len(q2.Head.Args) {
+		return false, false
+	}
+	choices := make([][]int, len(q1.Body))
+	for i, a := range q1.Body {
+		for j, b := range q2.Body {
+			if a.Pred == b.Pred && len(a.Args) == len(b.Args) {
+				choices[i] = append(choices[i], j)
+			}
+		}
+		if len(choices[i]) == 0 {
+			return false, false
+		}
+	}
+	assign := make([]int, len(q1.Body))
+	budget := naiveBudget
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if budget <= 0 {
+			return false
+		}
+		if i == len(assign) {
+			budget--
+			return validAssignment(q1, q2, assign)
+		}
+		for _, j := range choices[i] {
+			assign[i] = j
+			if rec(i + 1) {
+				return true
+			}
+			if budget <= 0 {
+				return false
+			}
+		}
+		return false
+	}
+	found = rec(0)
+	return found, !found && budget <= 0
+}
+
+func validAssignment(q1, q2 *cq.Query, assign []int) bool {
+	s := cq.NewSubst()
+	for i, ft := range q1.Head.Args {
+		tt := q2.Head.Args[i]
+		if ft.IsVar() {
+			if !s.Bind(ft.Lex, tt) {
+				return false
+			}
+		} else if ft != tt {
+			return false
+		}
+	}
+	for i, j := range assign {
+		if !s.MatchAtom(q1.Body[i], q2.Body[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// T5ComparisonContainment contrasts the sound and complete tests for
+// queries with comparisons (paper R5) and demonstrates the sound test's
+// incompleteness on the classical witness.
+func T5ComparisonContainment() Table {
+	t := Table{
+		ID:      "T5",
+		Title:   "Comparison containment: sound test vs complete (linearisation) test",
+		Columns: []string{"terms", "comparisons", "sound_us", "complete_us", "blowup"},
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		q1, q2 := comparisonPair(k)
+		var soundRes bool
+		sound := timeIt(func() { soundRes = containment.ContainedSound(q2, q1) })
+		complete := timeIt(func() { containment.ContainedComplete(q2, q1) })
+		_ = soundRes
+		blowup := fmt.Sprintf("%.0fx", float64(complete)/float64(max64(int64(sound), 1)))
+		t.Rows = append(t.Rows, []string{
+			itoa(len(q2.Vars()) + len(q2.Constants())), itoa(k), us(sound), us(complete), blowup,
+		})
+	}
+	// The incompleteness witness.
+	w1 := cq.MustParseQuery("q() :- r(U,V), U <= V")
+	w2 := cq.MustParseQuery("q() :- r(X,Y), r(Y,X)")
+	soundSays := containment.ContainedSound(w2, w1)
+	completeSays := containment.ContainedComplete(w2, w1)
+	t.Rows = append(t.Rows, []string{"witness", "1", fmt.Sprintf("sound=%v", soundSays), fmt.Sprintf("complete=%v", completeSays), "-"})
+	t.Notes = "expected: complete-test cost grows with the Fubini number of the term count; witness row: sound=false, complete=true."
+	return t
+}
+
+// comparisonPair builds contained query pairs with k chained comparisons
+// over a chain query of growing length, so the linearisation domain (and
+// the complete test's Fubini blow-up) grows with k.
+func comparisonPair(k int) (q1, q2 *cq.Query) {
+	q1 = workload.ChainQuery(k+1, true)
+	q2 = q1.Clone()
+	for i := 0; i < k; i++ {
+		c := cq.NewComparison(cq.Var(fmt.Sprintf("X%d", i)), cq.Le, cq.Var(fmt.Sprintf("X%d", i+1)))
+		q2.Comparisons = append(q2.Comparisons, c)
+	}
+	return q1, q2
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

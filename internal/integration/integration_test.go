@@ -1,0 +1,200 @@
+// Package integration cross-checks the whole stack: rewriting algorithms
+// against each other and against direct evaluation, on seeded random
+// workloads. These tests are the repository's strongest correctness
+// evidence — every algorithm pair must agree on every seed.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bucket"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/inverserules"
+	"repro/internal/minicon"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestAlgorithmsAgreeOnData: on every seed, the Bucket MCR, the MiniCon
+// MCR and the inverse-rules answers coincide when evaluated over the same
+// view extents, and all are subsets of the direct answers.
+func TestAlgorithmsAgreeOnData(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 2 + int(seed%3)
+			q := workload.ChainQuery(n, true)
+			views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(5))
+			base := workload.ChainDatabase(rng, n, true, 30, 6)
+			vs, err := core.NewViewSet(views...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viewDB, err := datalog.MaterializeViews(base, views)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bu, _, err := bucket.Rewrite(q, vs, bucket.Options{MaxCombinations: 50000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu, _, err := minicon.Rewrite(q, vs, minicon.Options{VerifyCandidates: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bAns := datalog.EvalUnion(viewDB, bu)
+			mAns := datalog.EvalUnion(viewDB, mu)
+			iAns, err := inverserules.Answer(q, views, viewDB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := datalog.EvalQuery(base, q)
+
+			if !storage.TuplesEqual(bAns, mAns) {
+				t.Errorf("bucket %d answers vs minicon %d answers\nbucket: %v\nminicon: %v",
+					len(bAns), len(mAns), bu, mu)
+			}
+			if !storage.TuplesEqual(mAns, iAns) {
+				t.Errorf("minicon %d answers vs inverse rules %d answers", len(mAns), len(iAns))
+			}
+			if !subset(mAns, direct) {
+				t.Error("certain answers not a subset of direct answers")
+			}
+		})
+	}
+}
+
+// TestEquivalentRewritingPreservesAnswers: whenever the core engine finds
+// a rewriting, evaluating it over view extents reproduces direct answers
+// exactly — over several database draws per workload.
+func TestEquivalentRewritingPreservesAnswers(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 2 + int(seed%4)
+		q := workload.ChainQuery(n, true)
+		views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(2*n+2))
+		vs, err := core.NewViewSet(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw := core.NewRewriter(vs).RewriteOne(q)
+		if rw == nil {
+			continue
+		}
+		found++
+		for draw := 0; draw < 3; draw++ {
+			base := workload.ChainDatabase(rng, n, true, 25, 5)
+			viewDB, err := datalog.MaterializeViews(base, views)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := datalog.EvalQuery(base, q)
+			via := datalog.EvalQuery(viewDB, rw.Query)
+			if !storage.TuplesEqual(direct, via) {
+				t.Fatalf("seed %d draw %d: rewriting %v gives %d answers, direct %d",
+					seed, draw, rw.Query, len(via), len(direct))
+			}
+		}
+	}
+	if found < 5 {
+		t.Fatalf("too few rewritings found to be meaningful: %d", found)
+	}
+}
+
+// TestStarWorkloadsAgree runs the same agreement checks on star queries.
+func TestStarWorkloadsAgree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		n := 2 + int(seed%3)
+		q := workload.StarQuery(n, true)
+		spec := workload.ViewSpec{Count: 5, MinLen: 1, MaxLen: 2, ExposeEndpoints: true, ExposeProb: 1}
+		views := workload.StarViews(rng, n, true, spec)
+		base := workload.RandomDatabase(rng, starPreds(n), 2, 30, 6)
+		vs, err := core.NewViewSet(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viewDB, err := datalog.MaterializeViews(base, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu, _, err := bucket.Rewrite(q, vs, bucket.Options{MaxCombinations: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, _, err := minicon.Rewrite(q, vs, minicon.Options{VerifyCandidates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAns := datalog.EvalUnion(viewDB, bu)
+		mAns := datalog.EvalUnion(viewDB, mu)
+		if !storage.TuplesEqual(bAns, mAns) {
+			t.Errorf("seed %d: bucket and minicon disagree on star workload", seed)
+		}
+	}
+}
+
+// TestExpansionEquivalenceInvariant: for every rewriting any algorithm
+// produces, the unfolding must be contained in the query (soundness), and
+// for the core engine it must be equivalent.
+func TestExpansionEquivalenceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + trial%3
+		q := workload.ChainQuery(n, true)
+		views := workload.ChainViews(rng, n, true, workload.DefaultViewSpec(6))
+		vs, err := core.NewViewSet(views...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, _, err := minicon.Rewrite(q, vs, minicon.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mu.Queries {
+			exp, err := core.Expand(m, vs)
+			if err != nil {
+				t.Fatalf("expand %v: %v", m, err)
+			}
+			if !containment.Contained(exp, q) {
+				t.Fatalf("unsound MCR member: %v", m)
+			}
+		}
+		r := core.NewRewriter(vs)
+		r.Opt.MaxResults = core.AllRewritings
+		res, _ := r.Rewrite(q)
+		for _, rw := range res {
+			if !containment.Equivalent(rw.Expansion, q) {
+				t.Fatalf("non-equivalent core rewriting: %v", rw.Query)
+			}
+		}
+	}
+}
+
+func subset(a, b []storage.Tuple) bool {
+	in := make(map[string]bool, len(b))
+	for _, t := range b {
+		in[t.Key()] = true
+	}
+	for _, t := range a {
+		if !in[t.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func starPreds(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return out
+}

@@ -1,0 +1,505 @@
+// Package minicon implements the MiniCon algorithm (Pottinger & Halevy) for
+// rewriting conjunctive queries using views, producing a maximally-contained
+// rewriting as a union of conjunctive queries.
+//
+// MiniCon improves on the Bucket algorithm by reasoning, at coverage time,
+// about how a view interacts with the *whole* query: when a query variable
+// is mapped to an existential view variable, every query subgoal mentioning
+// that variable must be covered by the same view usage. The resulting
+// MiniCon Descriptions (MCDs) combine only in pairwise-disjoint fashion,
+// which removes the bucket cartesian product — the effect measured by the
+// F1–F3 experiments.
+package minicon
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+)
+
+// MCD is a MiniCon Description: one way of using a view to cover a set of
+// query subgoals, satisfying the MiniCon property.
+type MCD struct {
+	// View is the original view definition.
+	View *cq.Query
+	// view is the fresh-renamed working copy used by this MCD.
+	view *cq.Query
+	// viewSub equates view variables (the head homomorphism h), binding
+	// variables to other view variables or constants.
+	viewSub cq.Subst
+	// phi maps query variable names to view terms (of the working copy).
+	phi map[string]cq.Term
+	// covers is the sorted set of covered query subgoal indices.
+	covers []int
+	// exposedRoots marks view variable roots that are distinguished.
+	exposedRoots map[string]bool
+}
+
+// Covers returns the covered subgoal indices (sorted).
+func (m *MCD) Covers() []int {
+	out := make([]int, len(m.covers))
+	copy(out, m.covers)
+	return out
+}
+
+// clone deep-copies the MCD's mutable state (the working view copy is
+// shared — it is never mutated after renaming).
+func (m *MCD) clone() *MCD {
+	c := &MCD{
+		View:         m.View,
+		view:         m.view,
+		viewSub:      m.viewSub.Clone(),
+		phi:          make(map[string]cq.Term, len(m.phi)),
+		exposedRoots: make(map[string]bool, len(m.exposedRoots)),
+	}
+	for k, v := range m.phi {
+		c.phi[k] = v
+	}
+	for k, v := range m.exposedRoots {
+		c.exposedRoots[k] = v
+	}
+	return c
+}
+
+// String renders the MCD for diagnostics.
+func (m *MCD) String() string {
+	parts := make([]string, 0, len(m.phi))
+	for x, t := range m.phi {
+		parts = append(parts, x+"->"+m.viewSub.Walk(t).String())
+	}
+	sort.Strings(parts)
+	covs := make([]string, len(m.covers))
+	for i, c := range m.covers {
+		covs[i] = strconv.Itoa(c)
+	}
+	return fmt.Sprintf("MCD(%s covers {%s} via {%s})", m.View.Name(), strings.Join(covs, ","), strings.Join(parts, ", "))
+}
+
+// key canonically identifies an MCD for deduplication.
+func (m *MCD) key() string {
+	var sb strings.Builder
+	sb.WriteString(m.View.Name())
+	sb.WriteByte('|')
+	for _, c := range m.covers {
+		sb.WriteString(strconv.Itoa(c))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	// Render phi images canonically: constants and exposure classes.
+	var binds []string
+	for x, t := range m.phi {
+		r := m.viewSub.Walk(t)
+		tag := r.String()
+		if r.IsVar() {
+			// Variable names are fresh per working copy; canonicalise by
+			// exposure and by grouping query vars that share an image.
+			tag = "*"
+			if m.exposedRoots[r.Lex] {
+				tag = "+"
+			}
+			tag += groupOf(m, r)
+		}
+		binds = append(binds, x+":"+tag)
+	}
+	sort.Strings(binds)
+	sb.WriteString(strings.Join(binds, ";"))
+	return sb.String()
+}
+
+// groupOf returns a canonical group label: the sorted query vars sharing
+// this view root.
+func groupOf(m *MCD, root cq.Term) string {
+	var xs []string
+	for x, t := range m.phi {
+		if m.viewSub.Walk(t) == root {
+			xs = append(xs, x)
+		}
+	}
+	sort.Strings(xs)
+	return strings.Join(xs, "~")
+}
+
+// Stats reports the work done by one run.
+type Stats struct {
+	MCDs             int
+	Combinations     int
+	ContainmentTests int
+	Kept             int
+}
+
+// Options configures the algorithm.
+type Options struct {
+	// VerifyCandidates re-checks each combined rewriting by unfolding and
+	// containment. The MiniCon property makes combinations sound by
+	// construction for pure conjunctive queries; verification is a safety
+	// net (and is what the F1–F3 benches toggle to measure its cost).
+	VerifyCandidates bool
+	// SkipMinimizeUnion returns the raw union without subsumption pruning.
+	SkipMinimizeUnion bool
+	// KeepComparisons attaches the query's comparisons to candidates when
+	// all their terms are exposed.
+	KeepComparisons bool
+	// MaxCombinations aborts combination enumeration (0 = unlimited).
+	MaxCombinations int
+}
+
+// Rewrite runs MiniCon and returns the maximally-contained rewriting of q
+// using the views, plus statistics.
+func Rewrite(q *cq.Query, vs *core.ViewSet, opt Options) (*cq.Union, Stats, error) {
+	var st Stats
+	if err := q.Validate(); err != nil {
+		return nil, st, err
+	}
+	mcds := FormMCDs(q, vs)
+	st.MCDs = len(mcds)
+
+	result := &cq.Union{}
+	seen := make(map[string]bool)
+	n := len(q.Body)
+	byFirst := make([][]*MCD, n)
+	for _, m := range mcds {
+		byFirst[m.covers[0]] = append(byFirst[m.covers[0]], m)
+	}
+
+	var selected []*MCD
+	covered := make([]bool, n)
+	var combine func(next int) bool
+	combine = func(next int) bool {
+		for next < n && covered[next] {
+			next++
+		}
+		if next == n {
+			st.Combinations++
+			if opt.MaxCombinations > 0 && st.Combinations > opt.MaxCombinations {
+				return false
+			}
+			cand := buildCandidate(q, selected, opt)
+			if cand == nil {
+				return true
+			}
+			key := cand.CanonicalString()
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			if opt.VerifyCandidates {
+				exp, err := core.Expand(cand, vs)
+				st.ContainmentTests++
+				if err != nil || !containment.Contained(exp, q) {
+					return true
+				}
+			}
+			result.Add(cand)
+			st.Kept++
+			return true
+		}
+		// MCDs combine only with pairwise disjoint covers (the MiniCon
+		// combination property): pick an MCD whose first covered subgoal
+		// is exactly `next`.
+		for _, m := range byFirst[next] {
+			ok := true
+			for _, c := range m.covers {
+				if covered[c] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, c := range m.covers {
+				covered[c] = true
+			}
+			selected = append(selected, m)
+			cont := combine(next + 1)
+			selected = selected[:len(selected)-1]
+			for _, c := range m.covers {
+				covered[c] = false
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	combine(0)
+
+	if !opt.SkipMinimizeUnion {
+		result = containment.MinimizeUnion(result)
+	}
+	return result, st, nil
+}
+
+// FormMCDs enumerates the minimal MCDs of every view against q.
+func FormMCDs(q *cq.Query, vs *core.ViewSet) []*MCD {
+	headVars := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			headVars[t.Lex] = true
+		}
+	}
+	// varGoals[x] = indices of subgoals containing variable x.
+	varGoals := make(map[string][]int)
+	for i, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				varGoals[t.Lex] = append(varGoals[t.Lex], i)
+			}
+		}
+	}
+
+	var out []*MCD
+	dedup := make(map[string]bool)
+	counter := 0
+	for gi := range q.Body {
+		for _, v := range vs.Views() {
+			for ai := range v.Body {
+				counter++
+				fresh := cq.NewFreshener(fmt.Sprintf("M%d_", counter))
+				fresh.Reserve(q)
+				rv, _ := fresh.RenameApart(v)
+				m := &MCD{
+					View:         v,
+					view:         rv,
+					viewSub:      cq.NewSubst(),
+					phi:          make(map[string]cq.Term),
+					exposedRoots: make(map[string]bool),
+				}
+				for _, t := range rv.Head.Args {
+					if t.IsVar() {
+						m.exposedRoots[t.Lex] = true
+					}
+				}
+				coveredSet := map[int]bool{}
+				if !mapAtoms(m, q, gi, ai, headVars, coveredSet) {
+					continue
+				}
+				for _, closed := range closeAll(m, q, headVars, varGoals, coveredSet) {
+					k := closed.key()
+					if !dedup[k] {
+						dedup[k] = true
+						out = append(out, closed)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mapAtoms extends the MCD so that query subgoal gi is covered by view atom
+// ai. It records the coverage and reports failure when the MiniCon
+// conditions are violated.
+func mapAtoms(m *MCD, q *cq.Query, gi, ai int, headVars map[string]bool, covered map[int]bool) bool {
+	g := q.Body[gi]
+	a := m.view.Body[ai]
+	if g.Pred != a.Pred || len(g.Args) != len(a.Args) {
+		return false
+	}
+	for i := range g.Args {
+		qt, vt := g.Args[i], a.Args[i]
+		vimg := m.viewSub.Walk(vt)
+		if qt.IsConst() {
+			switch {
+			case vimg.IsConst():
+				if vimg != qt {
+					return false
+				}
+			case m.exposed(vimg):
+				// Bind the distinguished variable to the constant.
+				if !m.equate(vimg, qt) {
+					return false
+				}
+			default:
+				return false // existential cannot enforce a constant
+			}
+			continue
+		}
+		// qt is a query variable.
+		if prev, ok := m.phi[qt.Lex]; ok {
+			if !m.equate(m.viewSub.Walk(prev), vimg) {
+				return false
+			}
+		} else {
+			m.phi[qt.Lex] = vimg
+		}
+	}
+	covered[gi] = true
+	return true
+}
+
+// exposed reports whether a view term is visible in the rewriting: a
+// constant or a (root) variable marked distinguished.
+func (m *MCD) exposed(t cq.Term) bool {
+	t = m.viewSub.Walk(t)
+	return t.IsConst() || m.exposedRoots[t.Lex]
+}
+
+// equate merges two view terms under viewSub, maintaining exposure marks.
+func (m *MCD) equate(a, b cq.Term) bool {
+	a, b = m.viewSub.Walk(a), m.viewSub.Walk(b)
+	if a == b {
+		return true
+	}
+	switch {
+	case a.IsVar():
+		m.viewSub[a.Lex] = b
+		if m.exposedRoots[a.Lex] && b.IsVar() {
+			m.exposedRoots[b.Lex] = true
+		}
+		return true
+	case b.IsVar():
+		m.viewSub[b.Lex] = a
+		if m.exposedRoots[b.Lex] {
+			// a is a constant: exposure preserved trivially.
+		}
+		return true
+	default:
+		return false // two distinct constants
+	}
+}
+
+// closeAll enforces the MiniCon property exhaustively: every query
+// variable mapped to a non-exposed view term must have all its subgoals
+// covered by this MCD, and a query head variable must map to an exposed
+// term. When a forced subgoal can be covered by several view atoms, every
+// choice is explored (the choices lead to different — all minimal — MCDs).
+// Duplicate closures are pruned by FormMCDs' key dedup.
+func closeAll(m *MCD, q *cq.Query, headVars map[string]bool, varGoals map[string][]int, covered map[int]bool) []*MCD {
+	// Find one violated obligation; if none, the MCD is closed.
+	forcedGoal := -1
+	for x, t := range m.phi {
+		if m.exposed(t) {
+			continue
+		}
+		if headVars[x] {
+			return nil // unfixable: head variable on an existential
+		}
+		for _, gi := range varGoals[x] {
+			if !covered[gi] {
+				forcedGoal = gi
+				break
+			}
+		}
+		if forcedGoal >= 0 {
+			break
+		}
+	}
+	if forcedGoal < 0 {
+		closed := m.clone()
+		closed.covers = sortedKeys(covered)
+		return []*MCD{closed}
+	}
+	// Branch over every view atom that can cover the forced subgoal.
+	var out []*MCD
+	for ai := range m.view.Body {
+		if m.view.Body[ai].Pred != q.Body[forcedGoal].Pred {
+			continue
+		}
+		branch := m.clone()
+		branchCovered := make(map[int]bool, len(covered)+1)
+		for k, v := range covered {
+			branchCovered[k] = v
+		}
+		if !mapAtoms(branch, q, forcedGoal, ai, headVars, branchCovered) {
+			continue
+		}
+		out = append(out, closeAll(branch, q, headVars, varGoals, branchCovered)...)
+	}
+	return out
+}
+
+// buildCandidate assembles a rewriting from a set of disjoint MCDs.
+func buildCandidate(q *cq.Query, mcds []*MCD, opt Options) *cq.Query {
+	fresh := cq.NewFreshener("F")
+	fresh.Reserve(q)
+	// eq accumulates equalities forced on query variables (shared view
+	// images and constant bindings).
+	eq := cq.NewSubst()
+	body := make([]cq.Atom, 0, len(mcds))
+	for _, m := range mcds {
+		// inverse: view root -> query variables sharing it.
+		inverse := make(map[cq.Term][]string)
+		for x, t := range m.phi {
+			r := m.viewSub.Walk(t)
+			if r.IsVar() {
+				inverse[r] = append(inverse[r], x)
+			} else {
+				// Query variable bound to a constant.
+				if !eq.UnifyTerms(cq.Var(x), r) {
+					return nil
+				}
+			}
+		}
+		for _, xs := range inverse {
+			sort.Strings(xs)
+		}
+		args := make([]cq.Term, len(m.view.Head.Args))
+		memo := make(map[cq.Term]cq.Term)
+		for i, h := range m.view.Head.Args {
+			r := m.viewSub.Walk(h)
+			if r.IsConst() {
+				args[i] = r
+				continue
+			}
+			if t, ok := memo[r]; ok {
+				args[i] = t
+				continue
+			}
+			if xs := inverse[r]; len(xs) > 0 {
+				rep := cq.Var(xs[0])
+				for _, other := range xs[1:] {
+					if !eq.UnifyTerms(cq.Var(other), rep) {
+						return nil
+					}
+				}
+				memo[r] = rep
+				args[i] = rep
+				continue
+			}
+			f := fresh.Fresh()
+			memo[r] = f
+			args[i] = f
+		}
+		body = append(body, cq.Atom{Pred: m.View.Name(), Args: args})
+	}
+	cand := &cq.Query{Head: q.Head, Body: body}
+	if opt.KeepComparisons {
+		cand.Comparisons = append(cand.Comparisons, q.Comparisons...)
+	}
+	cand = eq.Resolved().ApplyQuery(cand)
+	if opt.KeepComparisons {
+		// Keep only comparisons whose terms are exposed in the body.
+		exposedT := make(map[cq.Term]bool)
+		for _, a := range cand.Body {
+			for _, t := range a.Args {
+				exposedT[t] = true
+			}
+		}
+		kept := cand.Comparisons[:0]
+		for _, c := range cand.Comparisons {
+			if (c.Left.IsConst() || exposedT[c.Left]) && (c.Right.IsConst() || exposedT[c.Right]) {
+				kept = append(kept, c)
+			}
+		}
+		cand.Comparisons = kept
+	}
+	if cand.Validate() != nil {
+		return nil
+	}
+	return cand
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("r", Tuple{"a", "b"})
+	db.Insert("r", Tuple{"c", "with space"})
+	db.Insert("s", Tuple{"42"})
+	db.Insert("s", Tuple{"-3.5"})
+
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Fatalf("round trip lost data:\n%s\nvs\n%s", db.Summary(), back.Summary())
+	}
+}
+
+func TestWriteToDeterministic(t *testing.T) {
+	mk := func(order []Tuple) string {
+		db := NewDatabase()
+		for _, t := range order {
+			db.Insert("r", t)
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		return buf.String()
+	}
+	a := mk([]Tuple{{"x"}, {"a"}, {"m"}})
+	b := mk([]Tuple{{"m"}, {"x"}, {"a"}})
+	if a != b {
+		t.Fatalf("serialisation depends on insertion order:\n%q\n%q", a, b)
+	}
+}
+
+func TestReadDatabaseRejectsRules(t *testing.T) {
+	if _, err := ReadDatabase(strings.NewReader("q(X) :- r(X).")); err == nil {
+		t.Fatal("rules accepted")
+	}
+}
+
+func TestReadDatabaseParseError(t *testing.T) {
+	if _, err := ReadDatabase(strings.NewReader("broken((")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDatabaseEqual(t *testing.T) {
+	a := NewDatabase()
+	a.Insert("r", Tuple{"x"})
+	b := NewDatabase()
+	b.Insert("r", Tuple{"x"})
+	if !a.Equal(b) {
+		t.Fatal("equal databases reported different")
+	}
+	b.Insert("r", Tuple{"y"})
+	if a.Equal(b) {
+		t.Fatal("different sizes reported equal")
+	}
+	c := NewDatabase()
+	c.Insert("s", Tuple{"x"})
+	if a.Equal(c) {
+		t.Fatal("different predicates reported equal")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("r", Tuple{"a", "b"})
+	if got := db.Summary(); !strings.Contains(got, "r/2: 1 tuples") {
+		t.Fatalf("Summary = %q", got)
+	}
+}

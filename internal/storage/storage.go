@@ -1,0 +1,222 @@
+// Package storage provides the in-memory relational substrate used to
+// evaluate queries and rewritings: relations of string-valued tuples with
+// set semantics, lazily built per-column hash indexes, and a database
+// keyed by predicate name.
+//
+// Values are constant lexemes (see cq.Term); Skolem values produced by the
+// inverse-rules algorithm live in the same domain as tagged strings and
+// join by ordinary equality.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// Tuple is a row of constant values.
+type Tuple []string
+
+// Key returns a canonical encoding of the tuple for set membership.
+func (t Tuple) Key() string { return strings.Join(t, "\x1f") }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Relation is a named set of tuples of a fixed arity. Insertion order is
+// preserved for deterministic iteration; duplicates are ignored.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple
+	seen   map[string]bool
+
+	indexes map[int]map[string][]int // column -> value -> tuple positions
+	version int                      // bumped on insert; invalidates indexes
+	indexed int                      // version at which indexes were built
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{name: name, arity: arity, seen: make(map[string]bool)}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple, reporting whether it was new. It panics on an arity
+// mismatch — callers validate arity at the Database boundary.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
+	}
+	k := t.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.tuples = append(r.tuples, t.Clone())
+	r.version++
+	return true
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// Tuples returns the tuples in insertion order. The slice is shared; do not
+// modify.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Lookup returns the tuples whose column col equals val, using a lazily
+// built hash index.
+func (r *Relation) Lookup(col int, val string) []Tuple {
+	if col < 0 || col >= r.arity {
+		return nil
+	}
+	if r.indexes == nil || r.indexed != r.version {
+		r.indexes = make(map[int]map[string][]int)
+		r.indexed = r.version
+	}
+	idx, ok := r.indexes[col]
+	if !ok {
+		idx = make(map[string][]int)
+		for i, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], i)
+		}
+		r.indexes[col] = idx
+	}
+	positions := idx[val]
+	out := make([]Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = r.tuples[p]
+	}
+	return out
+}
+
+// Database is a collection of relations keyed by predicate name.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Relation returns the relation for pred, or nil if absent.
+func (db *Database) Relation(pred string) *Relation { return db.rels[pred] }
+
+// Ensure returns the relation for pred, creating it with the given arity if
+// absent. It returns an error if the relation exists with another arity.
+func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
+	if r, ok := db.rels[pred]; ok {
+		if r.arity != arity {
+			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, r.arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(pred, arity)
+	db.rels[pred] = r
+	return r, nil
+}
+
+// Insert adds a tuple under pred, creating the relation on first use.
+func (db *Database) Insert(pred string, t Tuple) error {
+	r, err := db.Ensure(pred, len(t))
+	if err != nil {
+		return err
+	}
+	r.Insert(t)
+	return nil
+}
+
+// InsertFact adds a ground atom as a tuple.
+func (db *Database) InsertFact(a cq.Atom) error {
+	if !a.IsGround() {
+		return fmt.Errorf("storage: fact %s is not ground", a)
+	}
+	t := make(Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		t[i] = arg.Lex
+	}
+	return db.Insert(a.Pred, t)
+}
+
+// LoadFacts inserts a batch of ground atoms.
+func (db *Database) LoadFacts(facts []cq.Atom) error {
+	for _, f := range facts {
+		if err := db.InsertFact(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predicates returns the relation names in sorted order.
+func (db *Database) Predicates() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for p, r := range db.rels {
+		nr := NewRelation(p, r.arity)
+		for _, t := range r.tuples {
+			nr.Insert(t)
+		}
+		out.rels[p] = nr
+	}
+	return out
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// SortTuples orders a tuple slice lexicographically in place and returns it;
+// useful for deterministic comparison in tests and reports.
+func SortTuples(ts []Tuple) []Tuple {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+	return ts
+}
+
+// TuplesEqual reports whether two tuple sets are equal regardless of order.
+func TuplesEqual(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	for _, t := range a {
+		seen[t.Key()]++
+	}
+	for _, t := range b {
+		seen[t.Key()]--
+		if seen[t.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cq"
+)
+
+func TestTupleKeyAndClone(t *testing.T) {
+	a := Tuple{"x", "y"}
+	b := Tuple{"x", "y"}
+	if a.Key() != b.Key() {
+		t.Fatal("equal tuples have different keys")
+	}
+	// Keys must distinguish boundary placement.
+	if (Tuple{"xy", ""}).Key() == (Tuple{"x", "y"}).Key() {
+		t.Fatal("key collision across boundaries")
+	}
+	c := a.Clone()
+	c[0] = "z"
+	if a[0] != "x" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation("r", 2)
+	if !r.Insert(Tuple{"a", "b"}) {
+		t.Fatal("first insert not new")
+	}
+	if r.Insert(Tuple{"a", "b"}) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Contains(Tuple{"a", "b"}) || r.Contains(Tuple{"b", "a"}) {
+		t.Fatal("Contains wrong")
+	}
+	if r.Name() != "r" || r.Arity() != 2 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestRelationInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	NewRelation("r", 2).Insert(Tuple{"a"})
+}
+
+func TestRelationInsertCopiesTuple(t *testing.T) {
+	r := NewRelation("r", 1)
+	src := Tuple{"a"}
+	r.Insert(src)
+	src[0] = "mutated"
+	if r.Tuples()[0][0] != "a" {
+		t.Fatal("Insert retained caller's slice")
+	}
+}
+
+func TestRelationLookup(t *testing.T) {
+	r := NewRelation("e", 2)
+	r.Insert(Tuple{"a", "b"})
+	r.Insert(Tuple{"a", "c"})
+	r.Insert(Tuple{"b", "c"})
+	got := r.Lookup(0, "a")
+	if len(got) != 2 {
+		t.Fatalf("Lookup(0,a) = %v", got)
+	}
+	if len(r.Lookup(1, "c")) != 2 {
+		t.Fatal("Lookup(1,c) wrong")
+	}
+	if len(r.Lookup(0, "zzz")) != 0 {
+		t.Fatal("Lookup miss wrong")
+	}
+	if r.Lookup(5, "a") != nil || r.Lookup(-1, "a") != nil {
+		t.Fatal("out-of-range column")
+	}
+	// Index must see tuples inserted after it was built.
+	r.Insert(Tuple{"a", "d"})
+	if len(r.Lookup(0, "a")) != 3 {
+		t.Fatal("stale index after insert")
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Insert("r", Tuple{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("r", Tuple{"a"}); err == nil {
+		t.Fatal("arity change accepted")
+	}
+	if db.Relation("r") == nil || db.Relation("nope") != nil {
+		t.Fatal("Relation lookup wrong")
+	}
+	if _, err := db.Ensure("r", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Ensure("r", 3); err == nil {
+		t.Fatal("Ensure with wrong arity accepted")
+	}
+	if got := db.Predicates(); len(got) != 1 || got[0] != "r" {
+		t.Fatalf("Predicates = %v", got)
+	}
+	if db.TotalTuples() != 1 {
+		t.Fatalf("TotalTuples = %d", db.TotalTuples())
+	}
+}
+
+func TestDatabaseFacts(t *testing.T) {
+	db := NewDatabase()
+	if err := db.InsertFact(cq.NewAtom("r", cq.Const("a"), cq.Const("b"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertFact(cq.NewAtom("r", cq.Var("X"), cq.Const("b"))); err == nil {
+		t.Fatal("non-ground fact accepted")
+	}
+	err := db.LoadFacts([]cq.Atom{
+		cq.NewAtom("s", cq.Const("c")),
+		cq.NewAtom("s", cq.Const("d")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("s").Len() != 2 {
+		t.Fatal("LoadFacts missed tuples")
+	}
+}
+
+func TestDatabaseClone(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("r", Tuple{"a"})
+	cl := db.Clone()
+	cl.Insert("r", Tuple{"b"})
+	cl.Insert("s", Tuple{"c"})
+	if db.Relation("r").Len() != 1 || db.Relation("s") != nil {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestSortAndEqual(t *testing.T) {
+	a := []Tuple{{"b"}, {"a"}}
+	SortTuples(a)
+	if a[0][0] != "a" {
+		t.Fatal("SortTuples wrong")
+	}
+	if !TuplesEqual([]Tuple{{"x"}, {"y"}}, []Tuple{{"y"}, {"x"}}) {
+		t.Fatal("TuplesEqual order-sensitive")
+	}
+	if TuplesEqual([]Tuple{{"x"}}, []Tuple{{"y"}}) {
+		t.Fatal("TuplesEqual false positive")
+	}
+	if TuplesEqual([]Tuple{{"x"}}, []Tuple{{"x"}, {"x"}}) {
+		t.Fatal("TuplesEqual length-insensitive")
+	}
+}
+
+func TestQuickInsertLookupConsistent(t *testing.T) {
+	f := func(vals []uint8) bool {
+		r := NewRelation("r", 1)
+		want := make(map[string]bool)
+		for _, v := range vals {
+			s := string(rune('a' + v%16))
+			r.Insert(Tuple{s})
+			want[s] = true
+		}
+		if r.Len() != len(want) {
+			return false
+		}
+		for s := range want {
+			if len(r.Lookup(0, s)) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

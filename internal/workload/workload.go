@@ -1,0 +1,341 @@
+// Package workload generates the synthetic queries, views and databases
+// used by the experiment suite (DESIGN.md Section 5). The query families —
+// chain, star and complete — are the canonical benchmark shapes of the
+// answering-queries-using-views literature; every generator is driven by an
+// explicit *rand.Rand so all tables and figures are reproducible from a
+// seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+)
+
+// ChainQuery builds the chain query of length n:
+//
+//	q(X0,Xn) :- p1(X0,X1), p2(X1,X2), ..., pn(Xn-1,Xn).
+//
+// With distinctPreds=false every subgoal uses the single predicate "e".
+func ChainQuery(n int, distinctPreds bool) *cq.Query {
+	if n < 1 {
+		panic("workload: chain length must be >= 1")
+	}
+	body := make([]cq.Atom, n)
+	for i := 0; i < n; i++ {
+		pred := "e"
+		if distinctPreds {
+			pred = fmt.Sprintf("p%d", i+1)
+		}
+		body[i] = cq.NewAtom(pred, chainVar(i), chainVar(i+1))
+	}
+	return &cq.Query{
+		Head: cq.NewAtom("q", chainVar(0), chainVar(n)),
+		Body: body,
+	}
+}
+
+func chainVar(i int) cq.Term { return cq.Var(fmt.Sprintf("X%d", i)) }
+
+// StarQuery builds the star query with n rays:
+//
+//	q(X0,X1,...,Xn) :- p1(X0,X1), p2(X0,X2), ..., pn(X0,Xn).
+//
+// All variables are distinguished (the standard "distinguished star").
+func StarQuery(n int, distinctPreds bool) *cq.Query {
+	if n < 1 {
+		panic("workload: star must have >= 1 ray")
+	}
+	body := make([]cq.Atom, n)
+	args := make([]cq.Term, n+1)
+	args[0] = chainVar(0)
+	for i := 1; i <= n; i++ {
+		pred := "e"
+		if distinctPreds {
+			pred = fmt.Sprintf("p%d", i)
+		}
+		body[i-1] = cq.NewAtom(pred, chainVar(0), chainVar(i))
+		args[i] = chainVar(i)
+	}
+	return &cq.Query{Head: cq.NewAtom("q", args...), Body: body}
+}
+
+// CompleteQuery builds the complete ("clique") query on n variables: one
+// subgoal e(Xi,Xj) for every ordered pair i<j, all variables distinguished.
+// These are the hardest instances of the F3 experiment.
+func CompleteQuery(n int) *cq.Query {
+	if n < 2 {
+		panic("workload: complete query needs >= 2 variables")
+	}
+	var body []cq.Atom
+	args := make([]cq.Term, n)
+	for i := 0; i < n; i++ {
+		args[i] = chainVar(i)
+		for j := i + 1; j < n; j++ {
+			body = append(body, cq.NewAtom("e", chainVar(i), chainVar(j)))
+		}
+	}
+	return &cq.Query{Head: cq.NewAtom("q", args...), Body: body}
+}
+
+// ViewSpec controls random view derivation.
+type ViewSpec struct {
+	// Count is the number of views to generate.
+	Count int
+	// MinLen/MaxLen bound each view's subgoal count.
+	MinLen, MaxLen int
+	// ExposeEndpoints forces the first and last variable of a chain view
+	// to be distinguished (star/complete views always expose the centre /
+	// clique variables they touch with probability ExposeProb).
+	ExposeEndpoints bool
+	// ExposeProb is the probability that a non-forced variable is
+	// distinguished.
+	ExposeProb float64
+}
+
+// DefaultViewSpec matches the MiniCon-experiment defaults.
+func DefaultViewSpec(count int) ViewSpec {
+	return ViewSpec{Count: count, MinLen: 1, MaxLen: 3, ExposeEndpoints: true, ExposeProb: 0.5}
+}
+
+// ChainViews derives views over the chain query's predicates: each view is
+// a random subchain pi..pj with endpoint variables distinguished and
+// interior variables distinguished with probability ExposeProb.
+func ChainViews(rng *rand.Rand, chainLen int, distinctPreds bool, spec ViewSpec) []*cq.Query {
+	views := make([]*cq.Query, 0, spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		length := spec.MinLen
+		if spec.MaxLen > spec.MinLen {
+			length += rng.Intn(spec.MaxLen - spec.MinLen + 1)
+		}
+		if length > chainLen {
+			length = chainLen
+		}
+		start := rng.Intn(chainLen - length + 1)
+		body := make([]cq.Atom, length)
+		for i := 0; i < length; i++ {
+			pred := "e"
+			if distinctPreds {
+				pred = fmt.Sprintf("p%d", start+i+1)
+			}
+			body[i] = cq.NewAtom(pred, viewVar(start+i), viewVar(start+i+1))
+		}
+		var head []cq.Term
+		for i := start; i <= start+length; i++ {
+			forced := spec.ExposeEndpoints && (i == start || i == start+length)
+			if forced || rng.Float64() < spec.ExposeProb {
+				head = append(head, viewVar(i))
+			}
+		}
+		if len(head) == 0 {
+			head = []cq.Term{viewVar(start)} // keep the view safe and useful
+		}
+		views = append(views, &cq.Query{
+			Head: cq.NewAtom(fmt.Sprintf("v%d", k), head...),
+			Body: body,
+		})
+	}
+	return views
+}
+
+func viewVar(i int) cq.Term { return cq.Var(fmt.Sprintf("Y%d", i)) }
+
+// StarViews derives views over the star query's predicates: each view takes
+// a random subset of rays, always exposing the centre.
+func StarViews(rng *rand.Rand, rays int, distinctPreds bool, spec ViewSpec) []*cq.Query {
+	views := make([]*cq.Query, 0, spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		nrays := spec.MinLen
+		if spec.MaxLen > spec.MinLen {
+			nrays += rng.Intn(spec.MaxLen - spec.MinLen + 1)
+		}
+		if nrays > rays {
+			nrays = rays
+		}
+		chosen := rng.Perm(rays)[:nrays]
+		body := make([]cq.Atom, nrays)
+		head := []cq.Term{viewVar(0)}
+		for i, ray := range chosen {
+			pred := "e"
+			if distinctPreds {
+				pred = fmt.Sprintf("p%d", ray+1)
+			}
+			body[i] = cq.NewAtom(pred, viewVar(0), viewVar(ray+1))
+			if rng.Float64() < spec.ExposeProb {
+				head = append(head, viewVar(ray+1))
+			}
+		}
+		views = append(views, &cq.Query{
+			Head: cq.NewAtom(fmt.Sprintf("v%d", k), head...),
+			Body: body,
+		})
+	}
+	return views
+}
+
+// CompleteViews derives views over the complete query: each view is the
+// clique pattern on a random subset of vertices, exposing each touched
+// vertex with probability ExposeProb (at least one exposed).
+func CompleteViews(rng *rand.Rand, n int, spec ViewSpec) []*cq.Query {
+	views := make([]*cq.Query, 0, spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		size := 2
+		if spec.MaxLen > 2 {
+			size += rng.Intn(spec.MaxLen - 1)
+		}
+		if size > n {
+			size = n
+		}
+		verts := rng.Perm(n)[:size]
+		var body []cq.Atom
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				a, b := verts[i], verts[j]
+				if a > b {
+					a, b = b, a
+				}
+				body = append(body, cq.NewAtom("e", viewVar(a), viewVar(b)))
+			}
+		}
+		var head []cq.Term
+		for _, v := range verts {
+			if rng.Float64() < spec.ExposeProb {
+				head = append(head, viewVar(v))
+			}
+		}
+		if len(head) == 0 {
+			head = []cq.Term{viewVar(verts[0])}
+		}
+		views = append(views, &cq.Query{
+			Head: cq.NewAtom(fmt.Sprintf("v%d", k), head...),
+			Body: body,
+		})
+	}
+	return views
+}
+
+// RandomQuery generates a random conjunctive query with the given number of
+// subgoals over binary predicates p1..pPreds, reusing variables with the
+// given probability. At least one variable is distinguished.
+func RandomQuery(rng *rand.Rand, atoms, preds int, reuseProb float64) *cq.Query {
+	if atoms < 1 || preds < 1 {
+		panic("workload: RandomQuery needs atoms >= 1 and preds >= 1")
+	}
+	var vars []cq.Term
+	nextVar := func() cq.Term {
+		if len(vars) > 0 && rng.Float64() < reuseProb {
+			return vars[rng.Intn(len(vars))]
+		}
+		v := cq.Var(fmt.Sprintf("X%d", len(vars)))
+		vars = append(vars, v)
+		return v
+	}
+	body := make([]cq.Atom, atoms)
+	for i := range body {
+		pred := fmt.Sprintf("p%d", rng.Intn(preds)+1)
+		body[i] = cq.NewAtom(pred, nextVar(), nextVar())
+	}
+	// Distinguish a random non-empty subset of variables.
+	var head []cq.Term
+	for _, v := range vars {
+		if rng.Float64() < 0.5 {
+			head = append(head, v)
+		}
+	}
+	if len(head) == 0 {
+		head = []cq.Term{vars[rng.Intn(len(vars))]}
+	}
+	return &cq.Query{Head: cq.NewAtom("q", head...), Body: body}
+}
+
+// RandomViewsForQuery derives random views from a query: each view takes a
+// random subset of the query's subgoals (renamed apart) and exposes each
+// variable with probability ExposeProb.
+func RandomViewsForQuery(rng *rand.Rand, q *cq.Query, spec ViewSpec) []*cq.Query {
+	views := make([]*cq.Query, 0, spec.Count)
+	for k := 0; k < spec.Count; k++ {
+		nAtoms := spec.MinLen
+		if spec.MaxLen > spec.MinLen {
+			nAtoms += rng.Intn(spec.MaxLen - spec.MinLen + 1)
+		}
+		if nAtoms > len(q.Body) {
+			nAtoms = len(q.Body)
+		}
+		idxs := rng.Perm(len(q.Body))[:nAtoms]
+		body := make([]cq.Atom, nAtoms)
+		varSet := make(map[string]bool)
+		var varOrder []string
+		for i, idx := range idxs {
+			a := q.Body[idx].Clone()
+			for j, t := range a.Args {
+				if t.IsVar() {
+					name := "Y_" + t.Lex
+					a.Args[j] = cq.Var(name)
+					if !varSet[name] {
+						varSet[name] = true
+						varOrder = append(varOrder, name)
+					}
+				}
+			}
+			body[i] = a
+		}
+		var head []cq.Term
+		for _, name := range varOrder {
+			if rng.Float64() < spec.ExposeProb {
+				head = append(head, cq.Var(name))
+			}
+		}
+		if len(head) == 0 {
+			head = []cq.Term{cq.Var(varOrder[0])}
+		}
+		views = append(views, &cq.Query{
+			Head: cq.NewAtom(fmt.Sprintf("v%d", k), head...),
+			Body: body,
+		})
+	}
+	return views
+}
+
+// RandomDatabase populates relations for the given predicates (all binary
+// unless arity overridden) with tuples drawn uniformly from a domain of the
+// given size.
+func RandomDatabase(rng *rand.Rand, preds []string, arity, tuplesPerPred, domain int) *storage.Database {
+	db := storage.NewDatabase()
+	for _, p := range preds {
+		for i := 0; i < tuplesPerPred; i++ {
+			t := make(storage.Tuple, arity)
+			for j := range t {
+				t[j] = fmt.Sprintf("c%d", rng.Intn(domain))
+			}
+			// Ignore the error: arities are consistent by construction.
+			_ = db.Insert(p, t)
+		}
+	}
+	return db
+}
+
+// ChainDatabase builds a database for chain queries: tuples over predicates
+// p1..pn (or "e") forming random edges plus a guaranteed full chain so the
+// query has at least one answer.
+func ChainDatabase(rng *rand.Rand, chainLen int, distinctPreds bool, tuplesPerPred, domain int) *storage.Database {
+	var preds []string
+	if distinctPreds {
+		for i := 1; i <= chainLen; i++ {
+			preds = append(preds, fmt.Sprintf("p%d", i))
+		}
+	} else {
+		preds = []string{"e"}
+	}
+	db := RandomDatabase(rng, preds, 2, tuplesPerPred, domain)
+	// Plant one witness chain c0 -> c1 -> ... -> cn.
+	for i := 0; i < chainLen; i++ {
+		p := "e"
+		if distinctPreds {
+			p = fmt.Sprintf("p%d", i+1)
+		}
+		_ = db.Insert(p, storage.Tuple{fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)})
+	}
+	return db
+}

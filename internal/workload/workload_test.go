@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+)
+
+func TestChainQueryShape(t *testing.T) {
+	q := ChainQuery(3, true)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "q(X0,X3) :- p1(X0,X1), p2(X1,X2), p3(X2,X3)." {
+		t.Fatalf("chain = %v", q)
+	}
+	single := ChainQuery(2, false)
+	if single.Body[0].Pred != "e" || single.Body[1].Pred != "e" {
+		t.Fatalf("single-pred chain = %v", single)
+	}
+}
+
+func TestStarQueryShape(t *testing.T) {
+	q := StarQuery(3, true)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Arity() != 4 || len(q.Body) != 3 {
+		t.Fatalf("star = %v", q)
+	}
+	for _, a := range q.Body {
+		if a.Args[0] != cq.Var("X0") {
+			t.Fatalf("ray does not start at centre: %v", a)
+		}
+	}
+}
+
+func TestCompleteQueryShape(t *testing.T) {
+	q := CompleteQuery(4)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 6 { // C(4,2)
+		t.Fatalf("complete body = %v", q.Body)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ChainQuery(0, true) },
+		func() { StarQuery(0, true) },
+		func() { CompleteQuery(1) },
+		func() { RandomQuery(rand.New(rand.NewSource(1)), 0, 1, 0) },
+		func() { CliqueView(1) },
+		func() { GraphQuery(3, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChainViewsValidAndUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := ChainQuery(6, true)
+	views := ChainViews(rng, 6, true, DefaultViewSpec(20))
+	if len(views) != 20 {
+		t.Fatalf("views = %d", len(views))
+	}
+	usable := 0
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid view %v: %v", v, err)
+		}
+		if core.Usable(v, q) {
+			usable++
+		}
+	}
+	if usable == 0 {
+		t.Fatal("no usable view in 20 draws with endpoint exposure")
+	}
+}
+
+func TestStarAndCompleteViewsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, v := range StarViews(rng, 5, true, DefaultViewSpec(15)) {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid star view %v: %v", v, err)
+		}
+	}
+	for _, v := range CompleteViews(rng, 5, DefaultViewSpec(15)) {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid complete view %v: %v", v, err)
+		}
+	}
+}
+
+func TestViewNamesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	views := ChainViews(rng, 5, true, DefaultViewSpec(10))
+	if _, err := core.NewViewSet(views...); err != nil {
+		t.Fatalf("generated views rejected: %v", err)
+	}
+}
+
+func TestRandomQueryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		q := RandomQuery(rng, 1+i%5, 3, 0.5)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid random query %v: %v", q, err)
+		}
+	}
+}
+
+func TestRandomViewsForQueryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := RandomQuery(rng, 4, 3, 0.5)
+	for _, v := range RandomViewsForQuery(rng, q, DefaultViewSpec(12)) {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid derived view %v: %v", v, err)
+		}
+	}
+}
+
+func TestRandomDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := RandomDatabase(rng, []string{"p1", "p2"}, 2, 100, 10)
+	if db.Relation("p1") == nil || db.Relation("p2") == nil {
+		t.Fatal("relations missing")
+	}
+	if db.Relation("p1").Len() == 0 || db.Relation("p1").Len() > 100 {
+		t.Fatalf("p1 size = %d", db.Relation("p1").Len())
+	}
+}
+
+func TestChainDatabaseHasWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4
+	db := ChainDatabase(rng, n, true, 30, 8)
+	q := ChainQuery(n, true)
+	if len(datalog.EvalQuery(db, q)) == 0 {
+		t.Fatal("planted witness chain missing")
+	}
+}
+
+func TestCliqueViewAndGraphQuery(t *testing.T) {
+	v := CliqueView(3)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Body) != 6 { // 3 pairs x 2 orientations
+		t.Fatalf("clique body = %v", v.Body)
+	}
+	// Triangle graph: the clique view must be usable.
+	q := GraphQuery(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if !core.Usable(v, q) {
+		t.Fatal("triangle not found in triangle graph")
+	}
+	// Path graph: no triangle.
+	path := GraphQuery(3, [][2]int{{0, 1}, {1, 2}})
+	if core.Usable(v, path) {
+		t.Fatal("triangle found in path graph")
+	}
+}
+
+func TestHardUsabilityInstanceDeterministic(t *testing.T) {
+	v1, q1 := HardUsabilityInstance(rand.New(rand.NewSource(13)), 3, 8, 0.3)
+	v2, q2 := HardUsabilityInstance(rand.New(rand.NewSource(13)), 3, 8, 0.3)
+	if v1.String() != v2.String() || q1.String() != q2.String() {
+		t.Fatal("same seed gave different instances")
+	}
+	if err := q1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEasyUsabilityInstance(t *testing.T) {
+	v, q := EasyUsabilityInstance(3, 6)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Usable(v, q) {
+		t.Fatal("subchain view should be usable in longer chain")
+	}
+}
+
+// The generated chain views must actually enable rewritings: with full
+// coverage views, the rewriter should find an equivalent rewriting.
+func TestChainViewsEnableRewriting(t *testing.T) {
+	q := ChainQuery(4, true)
+	// Deterministic full-cover views: p1p2 and p3p4, all endpoints shown.
+	views := []*cq.Query{
+		cq.MustParseQuery("v0(Y0,Y2) :- p1(Y0,Y1), p2(Y1,Y2)"),
+		cq.MustParseQuery("v1(Y2,Y4) :- p3(Y2,Y3), p4(Y3,Y4)"),
+	}
+	vs := core.MustNewViewSet(views...)
+	r := core.NewRewriter(vs)
+	rw := r.RewriteOne(q)
+	if rw == nil {
+		t.Fatal("no rewriting for full-cover chain views")
+	}
+	if !containment.Equivalent(rw.Expansion, q) {
+		t.Fatal("rewriting not equivalent")
+	}
+}
