@@ -13,6 +13,14 @@
 //	vs := aqv.MustNewViewSet(aqv.MustParseQuery("v(A,B) :- r(A,C), s(C,B)"))
 //	rw := aqv.NewRewriter(vs).RewriteOne(q)  // q(X,Y) :- v(X,Y).
 //
+// Applications that answer many queries over one view set should use the
+// serving engine instead of calling the algorithms directly: it caches
+// rewriting plans in a bounded LRU keyed by canonical query fingerprints,
+// coalesces concurrent identical requests, and is safe for parallel use:
+//
+//	eng, _ := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{})
+//	answers, _ := eng.Answer(q) // repeated/α-equivalent queries hit the plan cache
+//
 // See examples/ for complete programs and DESIGN.md for the system map.
 package aqv
 
@@ -24,6 +32,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/inverserules"
 	"repro/internal/minicon"
 	"repro/internal/storage"
@@ -67,6 +76,16 @@ var (
 	NewQuery = cq.NewQuery
 	// NewUnion builds a union of queries.
 	NewUnion = cq.NewUnion
+)
+
+// Canonical forms and fingerprints (see internal/cq).
+var (
+	// Canonicalize returns the canonical α-renamed, subgoal-sorted form.
+	Canonicalize = cq.Canonicalize
+	// CanonicalizeUnion canonicalises a union of conjunctive queries.
+	CanonicalizeUnion = cq.CanonicalizeUnion
+	// Fingerprint returns a cache key shared by α-equivalent queries.
+	Fingerprint = cq.Fingerprint
 )
 
 // Containment, equivalence and minimisation (see internal/containment).
@@ -205,6 +224,53 @@ var (
 	GloballyMinimal = core.GloballyMinimal
 	// BestShortening reports the best achievable subgoal reduction.
 	BestShortening = core.BestShortening
+)
+
+// Serving engine: concurrent, plan-caching query answering over all
+// rewriting algorithms (see internal/engine). This is the primary entry
+// point for applications that answer many queries over one view set.
+type (
+	// Engine is the concurrent plan-caching query answerer.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of engine counters.
+	EngineStats = engine.Stats
+	// EnginePlan is a cached rewriting plan.
+	EnginePlan = engine.Plan
+	// Strategy selects the rewriting algorithm an Engine plans with.
+	Strategy = engine.Strategy
+	// StrategyStats aggregates planning work per strategy.
+	StrategyStats = engine.StrategyStats
+	// ContainmentMemo caches containment decisions across checks.
+	ContainmentMemo = containment.Memo
+)
+
+// Engine strategies.
+const (
+	// StrategyEquivalentFirst tries an equivalent rewriting, then MiniCon.
+	StrategyEquivalentFirst = engine.EquivalentFirst
+	// StrategyBucket plans with the Bucket algorithm.
+	StrategyBucket = engine.Bucket
+	// StrategyMiniCon plans with the MiniCon algorithm.
+	StrategyMiniCon = engine.MiniCon
+	// StrategyInverseRules compiles an inverse-rules program.
+	StrategyInverseRules = engine.InverseRules
+)
+
+var (
+	// NewEngine builds an Engine over a view set and view-extent database.
+	NewEngine = engine.New
+	// NewEngineFromBase materialises the views over base data and builds
+	// an Engine serving from the result.
+	NewEngineFromBase = engine.NewFromBase
+	// ParseStrategy resolves a strategy name (CLI aliases accepted).
+	ParseStrategy = engine.ParseStrategy
+	// EngineStrategies lists the supported strategies.
+	EngineStrategies = engine.Strategies
+	// NewContainmentMemo returns an empty containment memo, shareable by
+	// concurrent Rewriters via the Rewriter.Memo field.
+	NewContainmentMemo = containment.NewMemo
 )
 
 // Cost-based plan choice (see internal/cost).

@@ -155,6 +155,48 @@ func TestFacadeUsable(t *testing.T) {
 	}
 }
 
+// TestFacadeEngine exercises the serving layer exactly as README documents
+// it: build an engine from base data, answer a query, answer an α-variant
+// (cache hit), and read the stats.
+func TestFacadeEngine(t *testing.T) {
+	base := NewDatabase()
+	prog, _ := ParseProgram("r(a,m). s(m,x).")
+	if err := base.LoadFacts(prog.Facts); err != nil {
+		t.Fatal(err)
+	}
+	views := []*Query{MustParseQuery("v(A,B) :- r(A,C), s(C,B)")}
+	eng, err := NewEngineFromBase(base, views, EngineOptions{Strategy: StrategyEquivalentFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	ans, err := eng.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TuplesEqual(ans, EvalQuery(base, q)) {
+		t.Fatalf("engine answers %v disagree with direct evaluation", ans)
+	}
+	variant := MustParseQuery("q(A,B) :- s(C,B), r(A,C)")
+	if Fingerprint(q) != Fingerprint(variant) {
+		t.Fatal("facade Fingerprint not α-invariant")
+	}
+	if _, err := eng.Answer(variant); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	batch, err := eng.AnswerBatch([]*Query{q, variant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TuplesEqual(batch[0], batch[1]) {
+		t.Fatal("batch answers disagree")
+	}
+}
+
 func TestFacadeTermConstructors(t *testing.T) {
 	a := NewAtom("r", Var("X"), Const("c"))
 	q := NewQuery(NewAtom("q", Var("X")), a)

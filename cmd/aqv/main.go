@@ -5,10 +5,18 @@
 //
 //	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse]
 //	    [-data facts.dl] [-all] [-partial] [-stats]
+//	aqv -queries stream.dl -views views.dl [-data facts.dl] [-algo ...]
+//	    [-cache N] [-stats]
 //
 // The query file holds one rule; the views file holds one rule per view.
 // The optional data file holds ground facts for the *base* relations; view
 // extents are materialised from it before evaluation.
+//
+// Batch/serve mode (-queries) answers a stream of query rules — one rule
+// per query, "-" reads stdin — through a single plan-caching engine:
+// repeated or α-equivalent queries in the stream are planned once and
+// served from the cache. With -stats the engine's hit/miss/coalescing
+// counters are printed after the stream.
 //
 // Example:
 //
@@ -23,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	aqv "repro"
@@ -40,25 +49,26 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("aqv", flag.ContinueOnError)
 	queryPath := fs.String("query", "", "file containing the query rule")
+	queriesPath := fs.String("queries", "", "batch mode: file with a stream of query rules ('-' = stdin), answered through one plan-caching engine")
 	viewsPath := fs.String("views", "", "file containing view definitions")
 	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
 	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse")
 	all := fs.Bool("all", false, "enumerate all equivalent rewritings (equivalent only)")
-	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms (equivalent only)")
-	stats := fs.Bool("stats", false, "print search statistics")
+	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms")
+	stats := fs.Bool("stats", false, "print search statistics (engine cache counters in batch mode)")
 	explain := fs.Bool("explain", false, "print the execution plan of the chosen rewriting (needs -data)")
+	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *queryPath == "" || *viewsPath == "" {
+	if (*queryPath == "" && *queriesPath == "") || *viewsPath == "" {
 		fs.Usage()
-		return fmt.Errorf("-query and -views are required")
+		return fmt.Errorf("-query (or -queries) and -views are required")
+	}
+	if *queryPath != "" && *queriesPath != "" {
+		return fmt.Errorf("-query and -queries are mutually exclusive")
 	}
 
-	q, err := loadQuery(*queryPath)
-	if err != nil {
-		return err
-	}
 	views, err := loadViews(*viewsPath)
 	if err != nil {
 		return err
@@ -74,6 +84,15 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	if *queriesPath != "" {
+		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *partial, *stats)
+	}
+
+	q, err := loadQuery(*queryPath)
+	if err != nil {
+		return err
 	}
 
 	switch *algo {
@@ -169,6 +188,93 @@ func runEquivalent(out *os.File, q *aqv.Query, views []*aqv.Query, vs *aqv.ViewS
 		printAnswers(out, q.Name(), answers)
 	}
 	return nil
+}
+
+// runBatch answers a stream of query rules through one plan-caching engine.
+// Without -data only the plans are printed; with -data each query's answers
+// follow its plan.
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize int, partial, stats bool) error {
+	queries, err := loadQueries(path)
+	if err != nil {
+		return err
+	}
+	strategy, err := aqv.ParseStrategy(algo)
+	if err != nil {
+		return err
+	}
+	hasData := base != nil
+	if base == nil {
+		base = aqv.NewDatabase()
+	}
+	eng, err := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{
+		Strategy:        strategy,
+		CacheSize:       cacheSize,
+		AllowPartial:    partial,
+		KeepComparisons: true,
+	})
+	if err != nil {
+		return err
+	}
+	for i, q := range queries {
+		p, err := eng.Plan(q)
+		if err != nil {
+			return fmt.Errorf("query %d (%s): %w", i+1, q.Name(), err)
+		}
+		fmt.Fprintf(out, "%% [%d] %s\n", i+1, q)
+		switch {
+		case p.Rewriting != nil:
+			fmt.Fprintf(out, "%% plan (%s): %s\n", p.Kind, p.Rewriting.Query)
+		case p.Union != nil:
+			fmt.Fprintf(out, "%% plan (%s): %d member(s)\n", p.Kind, p.Union.Len())
+		case p.Program != nil:
+			fmt.Fprintf(out, "%% plan (%s): %d rule(s)\n", p.Kind, len(p.Program.Rules))
+		}
+		if hasData {
+			answers, err := eng.Eval(p)
+			if err != nil {
+				return err
+			}
+			printAnswers(out, q.Name(), answers)
+		}
+	}
+	if stats {
+		st := eng.Stats()
+		fmt.Fprintf(out, "%% engine: hits=%d misses=%d coalesced=%d evictions=%d cached=%d\n",
+			st.Hits, st.Misses, st.Coalesced, st.Evictions, st.CacheLen)
+		for _, s := range aqv.EngineStrategies() {
+			if agg, ok := st.PerStrategy[s]; ok {
+				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v\n", s, agg.Plans, agg.PlanTime)
+			}
+		}
+	}
+	return nil
+}
+
+// loadQueries reads a stream of query rules; "-" reads stdin.
+func loadQueries(path string) ([]*aqv.Query, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	queries, err := aqv.ParseViews(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("no query rules in %s", path)
+	}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return queries, nil
 }
 
 func evalUnionIfData(out *os.File, u *aqv.Union, views []*aqv.Query, base *aqv.Database) error {

@@ -112,6 +112,55 @@ func TestRunPartial(t *testing.T) {
 	}
 }
 
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	// Three queries: the second is an α-variant of the first and must be
+	// served from the plan cache.
+	qf := writeFile(t, dir, "qs.dl", `
+		q(X,Y) :- r(X,Z), s(Z,Y).
+		q(A,B) :- s(C,B), r(A,C).
+		q2(X) :- r(X,Y).
+	`)
+	out := capture(t, []string{"-queries", qf, "-views", vf, "-data", df, "-stats"})
+	if !strings.Contains(out, "q(a,x).") {
+		t.Fatalf("missing answers:\n%s", out)
+	}
+	if !strings.Contains(out, "hits=1") || !strings.Contains(out, "misses=2") {
+		t.Fatalf("engine stats wrong (want hits=1 misses=2):\n%s", out)
+	}
+	if !strings.Contains(out, "plan (equivalent): q(V0,V1) :- v(V0,V1).") {
+		t.Fatalf("missing cached plan line:\n%s", out)
+	}
+}
+
+func TestRunBatchPlansOnlyWithoutData(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v1(A,B) :- r(A,B). v2(A) :- s(A).")
+	qf := writeFile(t, dir, "qs.dl", "q(X) :- r(X,Z), s(Z).")
+	out := capture(t, []string{"-queries", qf, "-views", vf, "-algo", "minicon"})
+	if !strings.Contains(out, "plan (max-contained)") {
+		t.Fatalf("missing plan:\n%s", out)
+	}
+	if strings.Contains(out, "answer(s)") {
+		t.Fatalf("answers printed without data:\n%s", out)
+	}
+}
+
+func TestRunBatchFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A) :- r(A).")
+	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X).")
+	if err := run([]string{"-query", qf, "-queries", qf, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("mutually exclusive flags accepted")
+	}
+	empty := writeFile(t, dir, "empty.dl", "% nothing here\n")
+	if err := run([]string{"-queries", empty, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("empty query stream accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X).")

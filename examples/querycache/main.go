@@ -1,8 +1,9 @@
 // Query caching / materialised views: the query-optimisation scenario from
-// the paper's introduction. A warehouse has materialised two join views.
-// Incoming queries are rewritten to scan the (much smaller) materialised
-// views instead of re-joining base tables, and the example measures the
-// speedup on synthetic data.
+// the paper's introduction, served through the library's engine layer. A
+// warehouse has materialised two join views; a single Engine answers the
+// incoming query stream, rewriting each query shape once, caching the plan
+// under its canonical fingerprint, and evaluating over the (much smaller)
+// materialised views instead of re-joining base tables.
 //
 // Run with: go run ./examples/querycache
 package main
@@ -36,36 +37,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	vs, err := aqv.NewViewSet(views...)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The hot-path query: every order with its customer's region name.
-	// Both joins are pre-computed by the views, so the rewriting replaces
-	// a three-way join by one join of two materialised relations.
-	q := aqv.MustParseQuery(
-		"q(O,N) :- order(O,C), customer(C,R), region(R,N)")
-
-	r := aqv.NewRewriter(vs)
-	rw := r.RewriteOne(q)
-	if rw == nil {
-		log.Fatal("no rewriting found")
-	}
-	fmt.Println("query:    ", q)
-	fmt.Println("rewriting:", rw.Query)
-	best := rw
-
-	// Partial rewritings: a query touching a relation no view covers
-	// (bigOrder) still benefits — the engine mixes views and base tables.
-	qBig := aqv.MustParseQuery(
-		"qb(O,N) :- bigOrder(O), order(O,C), customer(C,R), region(R,N)")
-	rp := aqv.NewRewriter(vs)
-	rp.Opt.AllowPartial = true
-	if prw := rp.RewriteOne(qBig); prw != nil {
-		fmt.Println("\npartial rewriting for the bigOrder query:")
-		fmt.Printf("  %s   (complete=%v)\n", prw.Query, prw.Complete)
-	}
 
 	// Build synthetic base data.
 	rng := rand.New(rand.NewSource(2026))
@@ -83,36 +54,113 @@ func main() {
 		}
 	}
 
-	// Materialise the views once (the warehouse maintenance step), and
-	// give the rewriting access to views + the base table it still needs.
+	// Stand up the serving engine: one call materialises the views (the
+	// warehouse maintenance step), keeps the base tables for partial
+	// rewritings, freezes the database for concurrent reads, and wires up
+	// the plan cache.
 	matStart := time.Now()
-	cache, err := aqv.MaterializeViews(base, views)
+	eng, err := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{
+		AllowPartial:    true,
+		KeepComparisons: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, t := range base.Relation("bigOrder").Tuples() {
-		if err := cache.Insert("bigOrder", t); err != nil {
-			log.Fatal(err)
-		}
-	}
 	matTime := time.Since(matStart)
 
-	// Race: direct evaluation vs the rewriting over the cache.
+	// The hot-path query: every order with its customer's region name.
+	// Both joins are pre-computed by the views, so the plan replaces a
+	// three-way join by one join of two materialised relations.
+	q := aqv.MustParseQuery(
+		"q(O,N) :- order(O,C), customer(C,R), region(R,N)")
+	plan, err := eng.Plan(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan.Rewriting == nil {
+		log.Fatal("no equivalent rewriting found for the hot-path query")
+	}
+	fmt.Println("query:    ", q)
+	fmt.Println("plan:     ", plan.Rewriting.Query, " (fingerprint", plan.Fingerprint[:8]+"…)")
+
+	// A query touching a relation no view covers (bigOrder) still
+	// benefits — the engine mixes views and base tables.
+	qBig := aqv.MustParseQuery(
+		"qb(O,N) :- bigOrder(O), order(O,C), customer(C,R), region(R,N)")
+	if p, err := eng.Plan(qBig); err == nil && p.Rewriting != nil {
+		fmt.Println("\npartial plan for the bigOrder query:")
+		fmt.Printf("  %s   (complete=%v)\n", p.Rewriting.Query, p.Rewriting.Complete)
+	}
+
+	// Sanity: the engine's answers match direct evaluation of the query
+	// over the base tables.
 	dStart := time.Now()
 	direct := aqv.EvalQuery(base, q)
 	dTime := time.Since(dStart)
-
-	cStart := time.Now()
-	cached := aqv.EvalQuery(cache, best.Query)
-	cTime := time.Since(cStart)
-
-	fmt.Printf("\nmaterialisation (once): %v\n", matTime)
-	fmt.Printf("direct evaluation:      %v   (%d answers)\n", dTime, len(direct))
-	fmt.Printf("rewriting evaluation:   %v   (%d answers)\n", cTime, len(cached))
-	fmt.Println("answers equal:         ", aqv.TuplesEqual(direct, cached))
-	if cTime > 0 {
-		fmt.Printf("speedup:                %.1fx\n", float64(dTime)/float64(cTime))
+	answers, err := eng.Answer(q)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nengine setup (materialise+index, once): %v\n", matTime)
+	fmt.Printf("direct evaluation: %v   (%d answers, equal=%v)\n",
+		dTime, len(direct), aqv.TuplesEqual(direct, answers))
+
+	// The serving scenario: one selective query arrives over and over,
+	// spelled differently by every client — renamed variables, reordered
+	// joins. Canonical fingerprints give all spellings one cache entry,
+	// so the rewriting search runs once for the whole stream.
+	point := aqv.MustParseQuery(
+		"pt(N) :- customer('c17',R), region(R,N)")
+	const streamLen = 2000
+	stream := make([]*aqv.Query, streamLen)
+	for i := range stream {
+		stream[i] = alphaVariant(rng, point, i)
+	}
+
+	vs, err := aqv.NewViewSet(views...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveStart := time.Now()
+	for _, sq := range stream {
+		r := aqv.NewRewriter(vs)
+		r.Opt.AllowPartial = true
+		rw := r.RewriteOne(sq)
+		if rw == nil {
+			log.Fatalf("no rewriting for %s", sq)
+		}
+		aqv.EvalQuery(eng.Database(), rw.Query)
+	}
+	naiveTime := time.Since(naiveStart)
+
+	servedStart := time.Now()
+	if _, err := eng.AnswerBatch(stream); err != nil {
+		log.Fatal(err)
+	}
+	servedTime := time.Since(servedStart)
+
+	st := eng.Stats()
+	fmt.Printf("\nserving %d spellings of one point query:\n", streamLen)
+	fmt.Printf("re-planning every request: %v   (%v/query)\n", naiveTime, naiveTime/streamLen)
+	fmt.Printf("engine (cached plans):     %v   (%v/query)\n", servedTime, servedTime/streamLen)
+	fmt.Printf("engine stats:              hits=%d misses=%d coalesced=%d cached=%d\n",
+		st.Hits, st.Misses, st.Coalesced, st.CacheLen)
+	if servedTime > 0 {
+		fmt.Printf("serving speedup:           %.1fx\n", float64(naiveTime)/float64(servedTime))
+	}
+}
+
+// alphaVariant returns q with consistently renamed variables and shuffled
+// subgoals — the same query as a different client would write it.
+func alphaVariant(rng *rand.Rand, q *aqv.Query, salt int) *aqv.Query {
+	v := q.Clone()
+	sub := aqv.Subst{}
+	for i, t := range q.Vars() {
+		sub.Bind(t.Lex, aqv.Var(fmt.Sprintf("X%c%d_%d", 'A'+rng.Intn(26), salt, i)))
+	}
+	v = sub.ApplyQuery(v)
+	rng.Shuffle(len(v.Body), func(i, j int) { v.Body[i], v.Body[j] = v.Body[j], v.Body[i] })
+	return v
 }
 
 func id(prefix string, n int) string { return fmt.Sprintf("%s%d", prefix, n) }

@@ -1,0 +1,78 @@
+package containment
+
+import (
+	"sync"
+
+	"repro/internal/cq"
+)
+
+// Memo caches containment decisions keyed by the canonical fingerprints of
+// the two queries (cq.Fingerprint), so that repeated checks over
+// α-equivalent query pairs are answered without re-running the exponential
+// homomorphism search. Containment is invariant under variable renaming and
+// subgoal reordering, which is exactly the equivalence the fingerprint
+// quotients by, so a hit is always sound.
+//
+// A Memo is safe for concurrent use. A nil *Memo is valid and simply
+// delegates to the unmemoised functions.
+type Memo struct {
+	mu        sync.Mutex
+	contained map[memoKey]bool
+	hits      uint64
+	misses    uint64
+}
+
+type memoKey struct {
+	sub, sup string
+}
+
+// NewMemo returns an empty containment memo.
+func NewMemo() *Memo {
+	return &Memo{contained: make(map[memoKey]bool)}
+}
+
+// Contained reports q2 ⊑ q1, consulting and populating the memo.
+func (m *Memo) Contained(q2, q1 *cq.Query) bool {
+	if m == nil {
+		return Contained(q2, q1)
+	}
+	key := memoKey{sub: cq.Fingerprint(q2), sup: cq.Fingerprint(q1)}
+	m.mu.Lock()
+	if v, ok := m.contained[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v := Contained(q2, q1)
+	m.mu.Lock()
+	m.contained[key] = v
+	m.misses++
+	m.mu.Unlock()
+	return v
+}
+
+// Equivalent reports q1 ≡ q2 via two memoised containment checks.
+func (m *Memo) Equivalent(q1, q2 *cq.Query) bool {
+	return m.Contained(q1, q2) && m.Contained(q2, q1)
+}
+
+// Stats returns the hit and miss counts accumulated so far.
+func (m *Memo) Stats() (hits, misses uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// Len returns the number of cached decisions.
+func (m *Memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.contained)
+}

@@ -58,6 +58,12 @@ type Stats struct {
 type Rewriter struct {
 	Views *ViewSet
 	Opt   Options
+	// Memo, when non-nil, memoises the equivalence checks performed while
+	// verifying candidates, keyed by canonical query fingerprints. Sharing
+	// one memo across searches lets repeated or α-equivalent candidates
+	// skip the exponential containment test. The memo is safe for
+	// concurrent use, so rewriters running in parallel may share it.
+	Memo *containment.Memo
 }
 
 // NewRewriter builds a Rewriter over the given views with default options
@@ -245,7 +251,13 @@ func (r *Rewriter) verify(qm, cand *cq.Query, st *Stats) *Rewriting {
 		return nil
 	}
 	st.EquivalenceChecks++
-	if !containment.Equivalent(exp, qm) {
+	equivalent := false
+	if r.Memo != nil {
+		equivalent = r.Memo.Equivalent(exp, qm)
+	} else {
+		equivalent = containment.Equivalent(exp, qm)
+	}
+	if !equivalent {
 		return nil
 	}
 	complete := true

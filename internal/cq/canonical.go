@@ -1,0 +1,222 @@
+package cq
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// canonBudget bounds the tie-exploration work Canonicalize performs. Queries
+// with many mutually symmetric subgoals (rare in practice) fall back to a
+// greedy, still-deterministic ordering once the budget is exhausted.
+const canonBudget = 4096
+
+// Canonicalize returns a canonical copy of q: body atoms are ordered by a
+// variable-name-independent key, variables are renamed V0, V1, ... by first
+// occurrence over (head, ordered body, comparisons), and comparisons are
+// normalised and sorted. Two queries that differ only in variable names
+// and/or subgoal order canonicalise to the same query, so the rendered form
+// is a sound cache key for any property invariant under α-renaming
+// (containment, equivalence, rewritability, answer sets).
+//
+// Head argument positions are preserved — the canonical query is always
+// α-equivalent to the input, never merely isomorphic.
+func Canonicalize(q *Query) *Query {
+	ren := make(map[string]string, 8)
+	next := 0
+	rename := func(t Term) Term {
+		if !t.IsVar() {
+			return t
+		}
+		n, ok := ren[t.Lex]
+		if !ok {
+			n = "V" + strconv.Itoa(next)
+			next++
+			ren[t.Lex] = n
+		}
+		return Term{Kind: Variable, Lex: n}
+	}
+
+	head := Atom{Pred: q.Head.Pred, Args: make([]Term, len(q.Head.Args))}
+	for i, t := range q.Head.Args {
+		head.Args[i] = rename(t)
+	}
+
+	c := &canonicalizer{budget: canonBudget}
+	remaining := make([]Atom, len(q.Body))
+	copy(remaining, q.Body)
+	body, ren, next := c.orderBody(remaining, ren, next)
+
+	comps := make([]Comparison, len(q.Comparisons))
+	for i, cmp := range q.Comparisons {
+		nc := Comparison{Op: cmp.Op}
+		for _, side := range []struct {
+			src Term
+			dst *Term
+		}{{cmp.Left, &nc.Left}, {cmp.Right, &nc.Right}} {
+			t := side.src
+			if t.IsVar() {
+				n, ok := ren[t.Lex]
+				if !ok {
+					// Unsafe comparison variable (invalid query): still
+					// rename deterministically so Canonicalize is total.
+					n = "V" + strconv.Itoa(next)
+					next++
+					ren[t.Lex] = n
+				}
+				t = Term{Kind: Variable, Lex: n}
+			}
+			*side.dst = t
+		}
+		comps[i] = nc.Normalize()
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].String() < comps[j].String() })
+
+	return &Query{Head: head, Body: body, Comparisons: comps}
+}
+
+// CanonicalizeUnion canonicalises every member and sorts them by rendered
+// form, yielding a deterministic representation of a UCQ.
+func CanonicalizeUnion(u *Union) *Union {
+	if u == nil {
+		return &Union{}
+	}
+	members := make([]*Query, len(u.Queries))
+	for i, q := range u.Queries {
+		members[i] = Canonicalize(q)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].String() < members[j].String() })
+	return &Union{Queries: members}
+}
+
+// Fingerprint returns a fixed-size hex key identifying q up to variable
+// renaming and subgoal order: α-equivalent query texts share the key. It is
+// the cache key used by the engine's plan cache and the containment memo.
+func Fingerprint(q *Query) string {
+	sum := sha256.Sum256([]byte(Canonicalize(q).String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// canonicalizer orders body atoms greedily: at each step it commits the atom
+// whose rendering under the partial renaming is minimal. Ties between atoms
+// that are not symmetric are resolved by exploring each tied branch to
+// completion (within a work budget) and keeping the lexicographically
+// smallest full rendering, which makes the result independent of the input
+// atom order.
+type canonicalizer struct {
+	budget int
+}
+
+func (c *canonicalizer) orderBody(remaining []Atom, ren map[string]string, next int) ([]Atom, map[string]string, int) {
+	if len(remaining) == 0 {
+		return nil, ren, next
+	}
+	minKey := ""
+	var tied []int
+	for i, a := range remaining {
+		k := projectedKey(a, ren)
+		switch {
+		case i == 0 || k < minKey:
+			minKey = k
+			tied = tied[:0]
+			tied = append(tied, i)
+		case k == minKey:
+			tied = append(tied, i)
+		}
+	}
+	if len(tied) > 1 && c.budget <= 0 {
+		tied = tied[:1] // budget exhausted: greedy, still deterministic
+	}
+
+	var bestBody []Atom
+	var bestRen map[string]string
+	var bestNext int
+	bestStr := ""
+	for _, idx := range tied {
+		c.budget--
+		branchRen := ren
+		branchNext := next
+		if len(tied) > 1 {
+			branchRen = make(map[string]string, len(ren)+2)
+			for k, v := range ren {
+				branchRen[k] = v
+			}
+		}
+		a := remaining[idx]
+		na := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+		for i, t := range a.Args {
+			if t.IsVar() {
+				n, ok := branchRen[t.Lex]
+				if !ok {
+					n = "V" + strconv.Itoa(branchNext)
+					branchNext++
+					branchRen[t.Lex] = n
+				}
+				na.Args[i] = Term{Kind: Variable, Lex: n}
+			} else {
+				na.Args[i] = t
+			}
+		}
+		rest := make([]Atom, 0, len(remaining)-1)
+		rest = append(rest, remaining[:idx]...)
+		rest = append(rest, remaining[idx+1:]...)
+		tailBody, tailRen, tailNext := c.orderBody(rest, branchRen, branchNext)
+		body := append([]Atom{na}, tailBody...)
+		if len(tied) == 1 {
+			return body, tailRen, tailNext
+		}
+		s := renderAtoms(body)
+		if bestBody == nil || s < bestStr {
+			bestBody, bestRen, bestNext, bestStr = body, tailRen, tailNext, s
+		}
+	}
+	return bestBody, bestRen, bestNext
+}
+
+// projectedKey renders an atom under a partial renaming so that atoms can be
+// compared without depending on original variable names: renamed variables
+// show their canonical name, unrenamed variables show their first-occurrence
+// index within this atom, constants show their lexeme.
+func projectedKey(a Atom, ren map[string]string) string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(len(a.Args)))
+	sb.WriteByte('(')
+	local := make(map[string]int, len(a.Args))
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		switch {
+		case t.IsConst():
+			sb.WriteString("c:")
+			sb.WriteString(t.Lex)
+		default:
+			if n, ok := ren[t.Lex]; ok {
+				sb.WriteString("v:")
+				sb.WriteString(n)
+			} else {
+				j, ok := local[t.Lex]
+				if !ok {
+					j = len(local)
+					local[t.Lex] = j
+				}
+				sb.WriteString("u:")
+				sb.WriteString(strconv.Itoa(j))
+			}
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func renderAtoms(atoms []Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,468 @@
+// Package engine is the serving front-end of the library: a concurrent,
+// plan-caching query answerer that unifies the rewriting algorithms —
+// equivalent rewriting search (LMSS95), Bucket, MiniCon and inverse rules —
+// behind one interface.
+//
+// An Engine is built once from a view set and a database of materialised
+// view extents (plus any base relations partial rewritings may read). Each
+// incoming query is canonicalised to a fingerprint (cq.Fingerprint), so
+// α-equivalent query texts share one cache entry; rewriting plans are kept
+// in a bounded LRU, and concurrent requests for the same fingerprint are
+// coalesced into a single rewriting search (single-flight). Containment
+// checks performed while planning are memoised across queries through a
+// shared containment.Memo.
+//
+// The expensive work — the exponential rewriting search — therefore runs at
+// most once per distinct query shape; the steady-state cost of Answer is
+// one plan-cache hit plus the evaluation of the cached rewriting.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bucket"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/inverserules"
+	"repro/internal/minicon"
+	"repro/internal/storage"
+)
+
+// Strategy selects the rewriting algorithm an Engine plans with.
+type Strategy string
+
+const (
+	// EquivalentFirst searches for an equivalent rewriting (the paper's
+	// core algorithm) and falls back to the MiniCon maximally-contained
+	// rewriting when none exists. This is the default.
+	EquivalentFirst Strategy = "equivalent-first"
+	// Bucket plans with the Bucket algorithm (maximally contained).
+	Bucket Strategy = "bucket"
+	// MiniCon plans with the MiniCon algorithm (maximally contained).
+	MiniCon Strategy = "minicon"
+	// InverseRules compiles the query and views into an inverse-rules
+	// datalog program; all search cost shifts to evaluation time.
+	InverseRules Strategy = "inverse-rules"
+)
+
+// Strategies lists the supported strategies.
+func Strategies() []Strategy {
+	return []Strategy{EquivalentFirst, Bucket, MiniCon, InverseRules}
+}
+
+// ParseStrategy resolves a strategy name, accepting the CLI spellings
+// ("equivalent", "inverse") as aliases.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case string(EquivalentFirst), "equivalent":
+		return EquivalentFirst, nil
+	case string(Bucket):
+		return Bucket, nil
+	case string(MiniCon):
+		return MiniCon, nil
+	case string(InverseRules), "inverse":
+		return InverseRules, nil
+	}
+	return "", fmt.Errorf("engine: unknown strategy %q (want one of %v)", name, Strategies())
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Strategy selects the planning algorithm; default EquivalentFirst.
+	Strategy Strategy
+	// CacheSize bounds the plan LRU; default 128. Minimum 1.
+	CacheSize int
+	// AllowPartial admits equivalent rewritings that keep base subgoals
+	// (EquivalentFirst only); the database must then hold those base
+	// relations alongside the view extents.
+	AllowPartial bool
+	// KeepComparisons re-asserts the query's comparison predicates on
+	// rewritings when their terms are exposed.
+	KeepComparisons bool
+	// BatchWorkers bounds AnswerBatch concurrency; default GOMAXPROCS.
+	BatchWorkers int
+}
+
+// PlanKind discriminates what a cached plan holds.
+type PlanKind uint8
+
+const (
+	// PlanEquivalent is a verified equivalent rewriting.
+	PlanEquivalent PlanKind = iota
+	// PlanMaxContained is a maximally-contained rewriting (a UCQ over the
+	// view predicates; possibly empty).
+	PlanMaxContained
+	// PlanInverseProgram is a compiled inverse-rules datalog program.
+	PlanInverseProgram
+)
+
+// String names the plan kind for diagnostics.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanEquivalent:
+		return "equivalent"
+	case PlanMaxContained:
+		return "max-contained"
+	case PlanInverseProgram:
+		return "inverse-program"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a cached, immutable rewriting plan for one query fingerprint.
+// Evaluating a plan never depends on the variable names of the query that
+// produced it — answers are sets of constant tuples — so one plan serves
+// every α-equivalent query text.
+type Plan struct {
+	// Fingerprint is the canonical cache key (cq.Fingerprint).
+	Fingerprint string
+	// Strategy that built the plan.
+	Strategy Strategy
+	// Kind says which of the payload fields below is set.
+	Kind PlanKind
+	// Rewriting is set for PlanEquivalent.
+	Rewriting *core.Rewriting
+	// Union is set for PlanMaxContained.
+	Union *cq.Union
+	// Program is set for PlanInverseProgram.
+	Program *datalog.Program
+	// AnswerPred is the head predicate answers are derived under.
+	AnswerPred string
+	// BuildTime is the wall time the rewriting search took.
+	BuildTime time.Duration
+}
+
+// StrategyStats aggregates planning work per strategy.
+type StrategyStats struct {
+	// Plans is the number of plans built (cache misses that ran the
+	// rewriting search).
+	Plans uint64
+	// PlanTime is the cumulative wall time spent building those plans.
+	PlanTime time.Duration
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Hits counts Answer/Plan calls served from the plan cache.
+	Hits uint64
+	// Misses counts calls that ran the rewriting search.
+	Misses uint64
+	// Coalesced counts calls that joined an in-flight search for the same
+	// fingerprint instead of starting their own.
+	Coalesced uint64
+	// Evictions counts plans dropped by the LRU bound.
+	Evictions uint64
+	// CacheLen is the current number of cached plans.
+	CacheLen int
+	// MemoHits/MemoMisses report the shared containment memo.
+	MemoHits   uint64
+	MemoMisses uint64
+	// PerStrategy breaks down planning work by strategy.
+	PerStrategy map[Strategy]StrategyStats
+}
+
+// Engine answers conjunctive queries over materialised views. It is safe
+// for concurrent use; the database it serves from is frozen (indexed) at
+// construction and must not be mutated afterwards.
+type Engine struct {
+	views    *core.ViewSet
+	viewDefs []*cq.Query
+	db       *storage.Database
+	opt      Options
+	memo     *containment.Memo
+
+	mu          sync.Mutex
+	cache       *lruCache
+	inflight    map[string]*flight
+	hits        uint64
+	misses      uint64
+	coalesced   uint64
+	evictions   uint64
+	perStrategy map[Strategy]*StrategyStats
+}
+
+// flight is one in-progress plan construction other callers can wait on.
+type flight struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// New builds an Engine over a view set and a database holding the view
+// extents (plus any base relations needed by partial rewritings or by the
+// fallback evaluation). The database is indexed and frozen for concurrent
+// reads; do not insert into it afterwards.
+func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
+	if vs == nil || vs.Len() == 0 {
+		return nil, errors.New("engine: empty view set")
+	}
+	if opt.Strategy == "" {
+		opt.Strategy = EquivalentFirst
+	}
+	if _, err := ParseStrategy(string(opt.Strategy)); err != nil {
+		return nil, err
+	}
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = 128
+	}
+	if db == nil {
+		db = storage.NewDatabase()
+	}
+	db.BuildIndexes()
+	return &Engine{
+		views:       vs,
+		viewDefs:    vs.Views(),
+		db:          db,
+		opt:         opt,
+		memo:        containment.NewMemo(),
+		cache:       newLRU(opt.CacheSize),
+		inflight:    make(map[string]*flight),
+		perStrategy: make(map[Strategy]*StrategyStats),
+	}, nil
+}
+
+// NewFromBase builds an Engine straight from base data: it materialises the
+// views over base, keeps the base relations alongside the extents (so
+// partial rewritings keep working), and serves from the merged database.
+//
+// Under the InverseRules strategy the engine serves from the view extents
+// alone — inverse rules reconstruct the base relations from the extents,
+// and keeping the originals would let the compiled program read base facts
+// directly, answering more than the views logically expose.
+func NewFromBase(base *storage.Database, views []*cq.Query, opt Options) (*Engine, error) {
+	vs, err := core.NewViewSet(views...)
+	if err != nil {
+		return nil, err
+	}
+	var db *storage.Database
+	if opt.Strategy == InverseRules {
+		db, err = datalog.MaterializeViews(base, views)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = base.Clone()
+		for _, v := range views {
+			if err := datalog.MaterializeView(base, v, db); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return New(vs, db, opt)
+}
+
+// Views returns the engine's view set.
+func (e *Engine) Views() *core.ViewSet { return e.views }
+
+// Database returns the frozen database the engine evaluates over.
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// Plan returns the cached rewriting plan for q, building it on first use.
+// Concurrent calls with the same fingerprint trigger exactly one search.
+func (e *Engine) Plan(q *cq.Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	fp := cq.Fingerprint(q)
+
+	e.mu.Lock()
+	if p, ok := e.cache.get(fp); ok {
+		e.hits++
+		e.mu.Unlock()
+		return p, nil
+	}
+	if fl, ok := e.inflight[fp]; ok {
+		e.coalesced++
+		e.mu.Unlock()
+		<-fl.done
+		return fl.plan, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	e.inflight[fp] = fl
+	e.misses++
+	e.mu.Unlock()
+
+	plan, err := e.buildPlan(q, fp)
+
+	e.mu.Lock()
+	if err == nil {
+		if e.cache.add(fp, plan) {
+			e.evictions++
+		}
+	}
+	delete(e.inflight, fp)
+	e.mu.Unlock()
+
+	fl.plan, fl.err = plan, err
+	close(fl.done)
+	return plan, err
+}
+
+// Answer plans q (through the cache) and evaluates the plan over the
+// engine's database, returning the answer tuples in sorted order.
+func (e *Engine) Answer(q *cq.Query) ([]storage.Tuple, error) {
+	p, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(p)
+}
+
+// AnswerBatch answers a batch of queries concurrently, preserving input
+// order in the result slice. Identical (α-equivalent) queries in one batch
+// coalesce into a single rewriting search. The returned error joins all
+// per-query failures; results of failed queries are nil.
+func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
+	results := make([][]storage.Tuple, len(qs))
+	if len(qs) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(qs))
+	workers := e.opt.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = e.Answer(qs[i])
+				if errs[i] != nil {
+					errs[i] = fmt.Errorf("query %d (%s): %w", i, qs[i].Head.Pred, errs[i])
+				}
+			}
+		}()
+	}
+	for i := range qs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Eval evaluates a plan over the engine's database. Answers are sorted for
+// deterministic output.
+func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
+	switch p.Kind {
+	case PlanEquivalent:
+		return datalog.EvalQuery(e.db, p.Rewriting.Query), nil
+	case PlanMaxContained:
+		return datalog.EvalUnion(e.db, p.Union), nil
+	case PlanInverseProgram:
+		out, err := p.Program.Eval(e.db)
+		if err != nil {
+			return nil, err
+		}
+		rel := out.Relation(p.AnswerPred)
+		if rel == nil {
+			return nil, nil
+		}
+		var answers []storage.Tuple
+		for _, t := range rel.Tuples() {
+			if !datalog.HasSkolem(t) {
+				answers = append(answers, t)
+			}
+		}
+		return storage.SortTuples(answers), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan kind %d", p.Kind)
+	}
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	memoHits, memoMisses := e.memo.Stats()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Hits:        e.hits,
+		Misses:      e.misses,
+		Coalesced:   e.coalesced,
+		Evictions:   e.evictions,
+		CacheLen:    e.cache.len(),
+		MemoHits:    memoHits,
+		MemoMisses:  memoMisses,
+		PerStrategy: make(map[Strategy]StrategyStats, len(e.perStrategy)),
+	}
+	for s, agg := range e.perStrategy {
+		st.PerStrategy[s] = *agg
+	}
+	return st
+}
+
+// buildPlan runs the configured rewriting algorithm over the canonical form
+// of q, so the resulting plan depends only on the fingerprint — never on
+// which α-variant of the query happened to arrive first. It executes
+// outside the engine mutex; only the counter update at the end takes it.
+func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
+	start := time.Now()
+	qc := cq.Canonicalize(q)
+	p := &Plan{Fingerprint: fp, Strategy: e.opt.Strategy, AnswerPred: qc.Name()}
+	switch e.opt.Strategy {
+	case EquivalentFirst:
+		r := core.NewRewriter(e.views)
+		r.Opt.AllowPartial = e.opt.AllowPartial
+		r.Opt.KeepComparisons = e.opt.KeepComparisons
+		r.Memo = e.memo
+		if rw := r.RewriteOne(qc); rw != nil {
+			p.Kind = PlanEquivalent
+			p.Rewriting = rw
+			break
+		}
+		u, _, err := minicon.Rewrite(qc, e.views, minicon.Options{VerifyCandidates: true, KeepComparisons: e.opt.KeepComparisons})
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanMaxContained
+		p.Union = u
+	case Bucket:
+		u, _, err := bucket.Rewrite(qc, e.views, bucket.Options{KeepComparisons: e.opt.KeepComparisons})
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanMaxContained
+		p.Union = u
+	case MiniCon:
+		u, _, err := minicon.Rewrite(qc, e.views, minicon.Options{VerifyCandidates: true, KeepComparisons: e.opt.KeepComparisons})
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanMaxContained
+		p.Union = u
+	case InverseRules:
+		prog, err := inverserules.Program(qc, e.viewDefs)
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = PlanInverseProgram
+		p.Program = prog
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %q", e.opt.Strategy)
+	}
+	p.BuildTime = time.Since(start)
+
+	e.mu.Lock()
+	agg := e.perStrategy[e.opt.Strategy]
+	if agg == nil {
+		agg = &StrategyStats{}
+		e.perStrategy[e.opt.Strategy] = agg
+	}
+	agg.Plans++
+	agg.PlanTime += p.BuildTime
+	e.mu.Unlock()
+	return p, nil
+}

@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// testBase builds a small base database for the standard two-view schema:
+//
+//	r(a,m). r(b,n). s(m,x). s(n,y). t(m).
+func testBase(t testing.TB) (*storage.Database, []*cq.Query) {
+	t.Helper()
+	base := storage.NewDatabase()
+	facts := []struct {
+		pred string
+		tup  storage.Tuple
+	}{
+		{"r", storage.Tuple{"a", "m"}},
+		{"r", storage.Tuple{"b", "n"}},
+		{"s", storage.Tuple{"m", "x"}},
+		{"s", storage.Tuple{"n", "y"}},
+		{"t", storage.Tuple{"m"}},
+	}
+	for _, f := range facts {
+		if err := base.Insert(f.pred, f.tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views, err := cq.ParseViews(`
+		v(A,B)  :- r(A,C), s(C,B).
+		vr(A,B) :- r(A,B).
+		vs(A,B) :- s(A,B).
+		vt(A)   :- t(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, views
+}
+
+func TestAnswerMatchesDirectEvaluation(t *testing.T) {
+	base, views := testBase(t)
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	want := datalog.EvalQuery(base, q)
+	if len(want) == 0 {
+		t.Fatal("test query has no answers over base data")
+	}
+	for _, strat := range Strategies() {
+		e, err := NewFromBase(base, views, Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		got, err := e.Answer(q)
+		if err != nil {
+			t.Fatalf("%s: Answer: %v", strat, err)
+		}
+		if !storage.TuplesEqual(got, want) {
+			t.Fatalf("%s: answers %v, want %v", strat, got, want)
+		}
+	}
+}
+
+func TestPlanCacheSharedAcrossAlphaVariants(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	q2 := cq.MustParseQuery("q(A,B) :- s(C,B), r(A,C)") // α-variant, reordered
+	a1, err := e.Answer(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Answer(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storage.TuplesEqual(a1, a2) {
+		t.Fatalf("answers differ across α-variants: %v vs %v", a1, a2)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = hits %d / misses %d, want 1/1 (α-variant must hit)", st.Hits, st.Misses)
+	}
+	if st.CacheLen != 1 {
+		t.Fatalf("cache holds %d plans, want 1", st.CacheLen)
+	}
+	agg, ok := st.PerStrategy[EquivalentFirst]
+	if !ok || agg.Plans != 1 {
+		t.Fatalf("per-strategy stats = %+v, want one equivalent-first plan", st.PerStrategy)
+	}
+}
+
+func TestSingleFlightCoalescing(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := e.Answer(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (single-flight)", st.Misses)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Hits, st.Coalesced, goroutines-1)
+	}
+}
+
+// TestConcurrentMixedQueries hammers one engine from many goroutines with a
+// mix of identical and distinct queries; run with -race this checks the
+// engine's locking, the shared containment memo, and the frozen database
+// indexes.
+func TestConcurrentMixedQueries(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*cq.Query{
+		cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"),
+		cq.MustParseQuery("q(A,B) :- s(C,B), r(A,C)"), // α-variant of the above
+		cq.MustParseQuery("q2(X) :- r(X,Z), t(Z)"),
+		cq.MustParseQuery("q3(X,Y) :- r(X,Y)"),
+		cq.MustParseQuery("q4(X) :- s(X,Y)"),
+	}
+	want := make([][]storage.Tuple, len(queries))
+	for i, q := range queries {
+		w, err := e.Answer(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want[i] = w
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := (g + i) % len(queries)
+				got, err := e.Answer(queries[k])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !storage.TuplesEqual(got, want[k]) {
+					t.Errorf("goroutine %d query %d: answers changed", g, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Misses != uint64(len(queries)-1) {
+		// q[0] and q[1] share a fingerprint: 4 distinct plans.
+		t.Fatalf("misses = %d, want %d", st.Misses, len(queries)-1)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []*cq.Query{
+		cq.MustParseQuery("q1(X,Y) :- r(X,Y)"),
+		cq.MustParseQuery("q2(X,Y) :- s(X,Y)"),
+		cq.MustParseQuery("q3(X) :- t(X)"),
+	}
+	for _, q := range qs {
+		if _, err := e.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Evictions != 1 || st.CacheLen != 2 {
+		t.Fatalf("evictions=%d cacheLen=%d, want 1 and 2", st.Evictions, st.CacheLen)
+	}
+	// q1 was the least recently used: answering it again must re-plan.
+	if _, err := e.Answer(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (q1 evicted and re-planned)", st.Misses)
+	}
+	// q3 is still cached.
+	if _, err := e.Answer(qs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if st = e.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (q3 still cached)", st.Hits)
+	}
+}
+
+func TestAnswerBatch(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{BatchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []*cq.Query{
+		cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"),
+		cq.MustParseQuery("q(A,B) :- s(C,B), r(A,C)"),
+		cq.MustParseQuery("q2(X,Y) :- r(X,Y)"),
+		cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"),
+	}
+	results, err := e.AnswerBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	if !storage.TuplesEqual(results[0], results[1]) || !storage.TuplesEqual(results[0], results[3]) {
+		t.Fatal("α-equivalent batch members disagree")
+	}
+	want := datalog.EvalQuery(base, qs[0])
+	if !storage.TuplesEqual(results[0], want) {
+		t.Fatalf("batch answers %v, want %v", results[0], want)
+	}
+	if st := e.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 distinct plans", st.Misses)
+	}
+}
+
+func TestAnswerBatchPartialFailure(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &cq.Query{Head: cq.NewAtom("q", cq.Var("X"))} // empty body: invalid
+	qs := []*cq.Query{
+		cq.MustParseQuery("q2(X,Y) :- r(X,Y)"),
+		bad,
+	}
+	results, err := e.AnswerBatch(qs)
+	if err == nil || !strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("err = %v, want failure naming query 1", err)
+	}
+	if results[0] == nil || results[1] != nil {
+		t.Fatalf("results = %v, want good answer and nil", results)
+	}
+}
+
+func TestEquivalentFirstFallsBackToMiniCon(t *testing.T) {
+	// Only r is covered by a view, so no equivalent rewriting of the
+	// r-s join exists; the engine must fall back to the MCR (empty here,
+	// since s is not covered at all).
+	base := storage.NewDatabase()
+	if err := base.Insert("r", storage.Tuple{"a", "m"}); err != nil {
+		t.Fatal(err)
+	}
+	views, err := cq.ParseViews("vr(A,B) :- r(A,B).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Plan(cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != PlanMaxContained {
+		t.Fatalf("plan kind = %v, want max-contained fallback", p.Kind)
+	}
+	ans, err := e.Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Fatalf("answers = %v, want none", ans)
+	}
+	// The (empty) plan is cached: asking again is a hit, not a re-search.
+	if _, err := e.Answer(cq.MustParseQuery("q(U,V) :- r(U,W), s(W,V)")); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (negative plan cached)", st.Hits)
+	}
+}
+
+func TestInverseRulesServesExtentsOnly(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{Strategy: InverseRules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := e.Database().Relation("r"); rel != nil {
+		t.Fatal("inverse-rules engine must not hold base relations")
+	}
+	got, err := e.Answer(cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := datalog.EvalQuery(base, cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)"))
+	if !storage.TuplesEqual(got, want) {
+		t.Fatalf("certain answers %v, want %v", got, want)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	base, views := testBase(t)
+	if _, err := New(nil, nil, Options{}); err == nil {
+		t.Fatal("nil view set accepted")
+	}
+	vs := core.MustNewViewSet(views...)
+	if _, err := New(vs, nil, Options{Strategy: "nope"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &cq.Query{Head: cq.NewAtom("q", cq.Var("X"))}
+	if _, err := e.Answer(bad); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if _, err := ParseStrategy("equivalent"); err != nil {
+		t.Fatal("CLI alias 'equivalent' rejected")
+	}
+	if _, err := ParseStrategy("inverse"); err != nil {
+		t.Fatal("CLI alias 'inverse' rejected")
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+import "container/list"
+
+// lruCache is a bounded least-recently-used map from fingerprint to plan.
+// It is not self-locking; the Engine serialises access under its mutex.
+type lruCache struct {
+	max   int
+	order *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+func (c *lruCache) get(key string) (*Plan, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).plan, true
+}
+
+// add inserts or refreshes a plan and reports whether an older entry was
+// evicted to make room.
+func (c *lruCache) add(key string, p *Plan) bool {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).plan = p
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, plan: p})
+	if c.order.Len() <= c.max {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -118,6 +118,37 @@ func TestF4Agreement(t *testing.T) {
 	}
 }
 
+// TestAblationSuite runs the ablation experiments (T6 semi-interval
+// dispatch, F6 minimisation, F7 evaluator optimisations). Like the other
+// slow experiment tables it is gated behind -short so the fast suite stays
+// fast while full runs keep coverage.
+func TestAblationSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation suite; skipped with -short")
+	}
+	for _, tc := range []struct {
+		id  string
+		run func() Table
+	}{
+		{"T6", T6SemiInterval},
+		{"F6", F6Minimization},
+		{"F7", F7EvaluatorAblation},
+	} {
+		tbl := tc.run()
+		if tbl.ID != tc.id {
+			t.Fatalf("%s: table ID = %q", tc.id, tbl.ID)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", tc.id)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Fatalf("%s: ragged row %v", tc.id, row)
+			}
+		}
+	}
+}
+
 func TestRaceOne(t *testing.T) {
 	q := mustParse("q(X,Y) :- r(X,Z), s(Z,Y)")
 	vq := []string{"v1(A,B) :- r(A,B)", "v2(A,B) :- s(A,B)"}

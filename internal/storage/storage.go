@@ -79,6 +79,28 @@ func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
 // modify.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
+// BuildIndexes eagerly builds the hash index for every column at the
+// current version. After it returns — and as long as no further inserts
+// happen — Lookup never mutates the relation, so any number of goroutines
+// may read it concurrently. The serving engine calls this once at
+// construction to freeze its database for parallel evaluation.
+func (r *Relation) BuildIndexes() {
+	if r.indexes == nil || r.indexed != r.version {
+		r.indexes = make(map[int]map[string][]int, r.arity)
+		r.indexed = r.version
+	}
+	for col := 0; col < r.arity; col++ {
+		if _, ok := r.indexes[col]; ok {
+			continue
+		}
+		idx := make(map[string][]int)
+		for i, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], i)
+		}
+		r.indexes[col] = idx
+	}
+}
+
 // Lookup returns the tuples whose column col equals val, using a lazily
 // built hash index.
 func (r *Relation) Lookup(col int, val string) []Tuple {
@@ -172,6 +194,14 @@ func (db *Database) Predicates() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// BuildIndexes freezes every relation for concurrent reads; see
+// Relation.BuildIndexes.
+func (db *Database) BuildIndexes() {
+	for _, r := range db.rels {
+		r.BuildIndexes()
+	}
 }
 
 // Clone returns a deep copy of the database.
