@@ -178,10 +178,13 @@ var (
 	NewDatabase = storage.NewDatabase
 	// ReadDatabase parses datalog facts into a new database.
 	ReadDatabase = storage.ReadDatabase
-	// EvalQuery evaluates a conjunctive query.
+	// EvalQuery evaluates a conjunctive query (compile once, run once).
 	EvalQuery = datalog.EvalQuery
 	// EvalUnion evaluates a union of conjunctive queries.
 	EvalUnion = datalog.EvalUnion
+	// CompileQuery lowers a conjunctive query to a reusable slot-based
+	// physical plan; see CompiledPlan.
+	CompileQuery = datalog.Compile
 	// MaterializeViews evaluates views over a base database into a
 	// view-extent database.
 	MaterializeViews = datalog.MaterializeViews
@@ -193,6 +196,12 @@ var (
 
 // Plan describes a query execution plan (see Explain).
 type Plan = datalog.Plan
+
+// CompiledPlan is an immutable slot-based physical plan: compile a query
+// once with CompileQuery, then Eval / EvalParallel it any number of times
+// (concurrently, over a frozen database) without re-planning. The serving
+// engine caches one per query fingerprint.
+type CompiledPlan = datalog.CompiledPlan
 
 // Certain answers (see internal/certain).
 type (
@@ -284,6 +293,8 @@ type (
 var (
 	// NewCatalog derives statistics from a database.
 	NewCatalog = cost.NewCatalog
+	// NewRowCatalog derives cardinalities only (cheap; no distinct counts).
+	NewRowCatalog = cost.NewRowCatalog
 	// EstimateQuery costs a conjunctive query.
 	EstimateQuery = cost.EstimateQuery
 	// EstimateUnion costs a union of conjunctive queries.

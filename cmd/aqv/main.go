@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	aqv "repro"
 	"repro/internal/cq"
@@ -58,6 +59,7 @@ func run(args []string, out *os.File) error {
 	stats := fs.Bool("stats", false, "print search statistics (engine cache counters in batch mode)")
 	explain := fs.Bool("explain", false, "print the execution plan of the chosen rewriting (needs -data)")
 	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
+	workers := fs.Int("workers", 1, "batch mode: goroutines each evaluation fans its outer join loop across (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,7 +89,10 @@ func run(args []string, out *os.File) error {
 	}
 
 	if *queriesPath != "" {
-		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *partial, *stats)
+		if *workers <= 0 {
+			*workers = runtime.GOMAXPROCS(0)
+		}
+		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
 	}
 
 	q, err := loadQuery(*queryPath)
@@ -172,20 +177,23 @@ func runEquivalent(out *os.File, q *aqv.Query, views []*aqv.Query, vs *aqv.ViewS
 				return err
 			}
 		}
-		// Choose the cheapest rewriting under the catalog statistics.
+		// Choose the cheapest rewriting under the catalog statistics, then
+		// compile it once: Describe and Eval see the same physical plan.
+		merged.BuildIndexes()
+		catalog := aqv.NewCatalog(merged)
 		candidates := make([]*aqv.Query, len(results))
 		for i, rw := range results {
 			candidates[i] = rw.Query
 		}
-		best, estimates := aqv.ChoosePlan(aqv.NewCatalog(merged), candidates)
+		best, estimates := aqv.ChoosePlan(catalog, candidates)
 		if stats && len(candidates) > 1 {
 			fmt.Fprintf(out, "%% cost model chose plan %d (cost %.0f)\n", best, estimates[best].Cost)
 		}
+		plan := aqv.CompileQuery(candidates[best], catalog)
 		if explain {
-			fmt.Fprintf(out, "%% plan:\n%s", aqv.Explain(merged, candidates[best]))
+			fmt.Fprintf(out, "%% plan:\n%s", plan.Describe())
 		}
-		answers := aqv.EvalQuery(merged, candidates[best])
-		printAnswers(out, q.Name(), answers)
+		printAnswers(out, q.Name(), plan.Eval(merged))
 	}
 	return nil
 }
@@ -193,7 +201,7 @@ func runEquivalent(out *os.File, q *aqv.Query, views []*aqv.Query, vs *aqv.ViewS
 // runBatch answers a stream of query rules through one plan-caching engine.
 // Without -data only the plans are printed; with -data each query's answers
 // follow its plan.
-func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize int, partial, stats bool) error {
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, stats bool) error {
 	queries, err := loadQueries(path)
 	if err != nil {
 		return err
@@ -211,6 +219,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		CacheSize:       cacheSize,
 		AllowPartial:    partial,
 		KeepComparisons: true,
+		EvalWorkers:     workers,
 	})
 	if err != nil {
 		return err
@@ -241,6 +250,8 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		st := eng.Stats()
 		fmt.Fprintf(out, "%% engine: hits=%d misses=%d coalesced=%d evictions=%d cached=%d\n",
 			st.Hits, st.Misses, st.Coalesced, st.Evictions, st.CacheLen)
+		fmt.Fprintf(out, "%% engine: compile_time=%v execs=%d exec_time=%v\n",
+			st.CompileTime, st.ExecCount, st.ExecTime)
 		for _, s := range aqv.EngineStrategies() {
 			if agg, ok := st.PerStrategy[s]; ok {
 				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v\n", s, agg.Plans, agg.PlanTime)

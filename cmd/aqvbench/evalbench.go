@@ -1,0 +1,188 @@
+package main
+
+// Evaluator benchmark harness: measures the warm, cold and parallel paths
+// of the compiled slot-based executor against the retained tuple-at-a-time
+// interpreter on the serving-shaped workloads, and writes the results as
+// machine-readable JSON (BENCH_eval.json) so successive PRs can track the
+// evaluator's performance trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// BenchPoint is one measured route.
+type BenchPoint struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// EvalBenchResult is one workload's measurements.
+type EvalBenchResult struct {
+	Name    string `json:"name"`
+	Query   string `json:"query"`
+	Tuples  int    `json:"tuples"`
+	Answers int    `json:"answers"`
+	// Interp is the tuple-at-a-time interpreter (the pre-compilation
+	// evaluator): map bindings, per-call greedy ordering.
+	Interp BenchPoint `json:"interp"`
+	// Cold compiles the plan and runs it once per op.
+	Cold BenchPoint `json:"cold"`
+	// Warm runs a precompiled plan per op — the engine's steady state.
+	Warm BenchPoint `json:"warm"`
+	// Parallel runs the precompiled plan with EvalParallel(GOMAXPROCS).
+	Parallel BenchPoint `json:"parallel"`
+	// WarmSpeedupVsInterp is Interp.NsPerOp / Warm.NsPerOp.
+	WarmSpeedupVsInterp float64 `json:"warm_speedup_vs_interp"`
+	// WarmAllocReductionVsInterp is Interp.Allocs / Warm.Allocs.
+	WarmAllocReductionVsInterp float64 `json:"warm_alloc_reduction_vs_interp"`
+}
+
+// EvalBenchReport is the top-level BENCH_eval.json document.
+type EvalBenchReport struct {
+	Command    string            `json:"command"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Workloads  []EvalBenchResult `json:"workloads"`
+}
+
+type evalWorkload struct {
+	name string
+	db   *storage.Database
+	q    *cq.Query
+}
+
+// evalWorkloads mirrors the Benchmark* workloads in internal/datalog:
+// serving-shaped queries where the join loop, not answer materialisation,
+// carries the cost — plus the projection/decomposition shapes for coverage.
+func evalWorkloads() []evalWorkload {
+	var ws []evalWorkload
+
+	rng := rand.New(rand.NewSource(51))
+	ws = append(ws, evalWorkload{"chain5", workload.ChainDatabase(rng, 5, true, 2000, 2000), workload.ChainQuery(5, true)})
+
+	rng = rand.New(rand.NewSource(55))
+	point := workload.ChainQuery(6, true)
+	point.Body[0].Args[0] = cq.Const("c0")
+	point.Head.Args = point.Head.Args[1:]
+	ws = append(ws, evalWorkload{"point_lookup", workload.ChainDatabase(rng, 6, true, 5000, 4000), point})
+
+	rng = rand.New(rand.NewSource(57))
+	ws = append(ws, evalWorkload{"needle", workload.ChainDatabase(rng, 5, true, 2000, 4000), workload.ChainQuery(5, true)})
+
+	rng = rand.New(rand.NewSource(56))
+	comp := workload.ChainQuery(4, true)
+	comp.AddComparison(cq.NewComparison(cq.Var("X0"), cq.Lt, cq.Var("X1")))
+	ws = append(ws, evalWorkload{"comparison", workload.ChainDatabase(rng, 4, true, 1500, 1500), comp})
+
+	rng = rand.New(rand.NewSource(52))
+	starDB := workload.RandomDatabase(rng, []string{"p1", "p2", "p3", "p4"}, 2, 1200, 1500)
+	ws = append(ws, evalWorkload{"star4", starDB, workload.StarQuery(4, true)})
+
+	rng = rand.New(rand.NewSource(53))
+	dcDB := storage.NewDatabase()
+	for i := 0; i < 1500; i++ {
+		dcDB.Insert("v", storage.Tuple{
+			fmt.Sprint(rng.Intn(6)), fmt.Sprint(rng.Intn(7)),
+			fmt.Sprint(rng.Intn(5)), fmt.Sprint(i),
+		})
+	}
+	ws = append(ws, evalWorkload{"dont_care", dcDB,
+		cq.MustParseQuery("q(X0,X3) :- v(X0,X1,F0,F1), v(F2,X1,X2,F3), v(F4,F5,X2,X3)")})
+
+	rng = rand.New(rand.NewSource(54))
+	disDB := storage.NewDatabase()
+	for i := 0; i < 600; i++ {
+		disDB.Insert("v1", storage.Tuple{fmt.Sprint(rng.Intn(600))})
+		disDB.Insert("v2", storage.Tuple{fmt.Sprint(rng.Intn(600))})
+		disDB.Insert("v3", storage.Tuple{fmt.Sprint(rng.Intn(600))})
+	}
+	ws = append(ws, evalWorkload{"disconnected", disDB, cq.MustParseQuery("q(X) :- v1(X), v2(A), v3(B)")})
+
+	return ws
+}
+
+func toPoint(r testing.BenchmarkResult) BenchPoint {
+	return BenchPoint{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runEvalBench measures every workload and writes the JSON report to path
+// ("-" prints to stdout only).
+func runEvalBench(path string) error {
+	report := EvalBenchReport{
+		Command:    "aqvbench -evalbench " + path,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range evalWorkloads() {
+		w.db.BuildIndexes()
+		cat := cost.NewCatalog(w.db)
+		rowCat := cost.NewRowCatalog(w.db)
+		plan := datalog.Compile(w.q, cat)
+		res := EvalBenchResult{
+			Name:    w.name,
+			Query:   w.q.String(),
+			Tuples:  w.db.TotalTuples(),
+			Answers: len(plan.Eval(w.db)),
+		}
+		db, q := w.db, w.q
+		res.Interp = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				datalog.EvalQueryInterp(db, q)
+			}
+		}))
+		res.Cold = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				datalog.Compile(q, rowCat).Eval(db)
+			}
+		}))
+		res.Warm = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.Eval(db)
+			}
+		}))
+		workers := runtime.GOMAXPROCS(0)
+		res.Parallel = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan.EvalParallel(db, workers)
+			}
+		}))
+		if res.Warm.NsPerOp > 0 {
+			res.WarmSpeedupVsInterp = res.Interp.NsPerOp / res.Warm.NsPerOp
+		}
+		if res.Warm.AllocsPerOp > 0 {
+			res.WarmAllocReductionVsInterp = float64(res.Interp.AllocsPerOp) / float64(res.Warm.AllocsPerOp)
+		}
+		fmt.Printf("%-14s answers=%-6d interp=%.0fns warm=%.0fns (%.2fx) parallel=%.0fns allocs %d->%d (%.1fx)\n",
+			res.Name, res.Answers, res.Interp.NsPerOp, res.Warm.NsPerOp, res.WarmSpeedupVsInterp,
+			res.Parallel.NsPerOp, res.Interp.AllocsPerOp, res.Warm.AllocsPerOp, res.WarmAllocReductionVsInterp)
+		report.Workloads = append(report.Workloads, res)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

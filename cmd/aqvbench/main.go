@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	aqvbench            # run every experiment
-//	aqvbench -exp F1    # run one experiment
-//	aqvbench -list      # list experiment ids
+//	aqvbench                          # run every experiment
+//	aqvbench -exp F1                  # run one experiment
+//	aqvbench -list                    # list experiment ids
+//	aqvbench -evalbench BENCH_eval.json  # measure the evaluator, write JSON
 package main
 
 import (
@@ -30,12 +31,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("aqvbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (T1..T5, F1..F6) or 'all'")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	evalBench := fs.String("evalbench", "", "measure the evaluator (interp vs compiled cold/warm/parallel) and write machine-readable JSON to this path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), " "))
 		return nil
+	}
+	if *evalBench != "" {
+		return runEvalBench(*evalBench)
 	}
 	if strings.EqualFold(*exp, "all") {
 		for _, id := range experiments.IDs() {

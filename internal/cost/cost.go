@@ -44,6 +44,28 @@ func NewCatalog(db *storage.Database) *Catalog {
 	return c
 }
 
+// NewRowCatalog builds a rows-only catalog: relation cardinalities without
+// per-column distinct counts. With preds given it covers only those
+// predicates (O(|preds|) — the per-query case); with none it covers the
+// whole database. It is cheap enough to derive per evaluation, which is
+// how EvalQuery orders joins; distinct counts default to 1 and ordering
+// degrades to bound-columns-first with smaller-relation tie-breaks.
+func NewRowCatalog(db *storage.Database, preds ...string) *Catalog {
+	c := &Catalog{
+		rows:     make(map[string]float64),
+		distinct: make(map[string][]float64),
+	}
+	if len(preds) == 0 {
+		preds = db.Predicates()
+	}
+	for _, pred := range preds {
+		if rel := db.Relation(pred); rel != nil {
+			c.rows[pred] = float64(rel.Len())
+		}
+	}
+	return c
+}
+
 // SetRelation registers statistics manually (for what-if analysis).
 func (c *Catalog) SetRelation(pred string, rows float64, distinct []float64) {
 	c.rows[pred] = rows
@@ -57,6 +79,13 @@ func (c *Catalog) Rows(pred string) float64 {
 		return r
 	}
 	return 1
+}
+
+// Distinct returns the number of distinct values in a column (1 if
+// unknown). The physical-plan compiler uses it to pick the most selective
+// index probe column and to refine join-order tie-breaks.
+func (c *Catalog) Distinct(pred string, col int) float64 {
+	return c.distinctAt(pred, col)
 }
 
 func (c *Catalog) distinctAt(pred string, col int) float64 {

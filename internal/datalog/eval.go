@@ -11,6 +11,7 @@
 package datalog
 
 import (
+	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/storage"
 )
@@ -39,10 +40,49 @@ func (l layered) Relation(pred string) *storage.Relation {
 
 // EvalQuery evaluates a conjunctive query over the database and returns the
 // distinct head tuples in deterministic (sorted) order. Predicates missing
-// from the database are treated as empty relations. Queries whose join
-// graph is disconnected are evaluated per connected component with early
-// projection, avoiding cross-product enumeration.
+// from the database are treated as empty relations.
+//
+// Since the introduction of compiled physical plans this is a thin wrapper:
+// it compiles q to a slot-based CompiledPlan (join order from relation
+// cardinalities, connected-component decomposition, comparisons pushed to
+// their earliest bound depth) and executes it once. Applications answering
+// the same query repeatedly should Compile once and reuse the plan — the
+// serving engine does exactly that through its LRU.
+//
+// Like the lazy index builds it replaces, the freeze below mutates db, so
+// concurrent callers over one database must BuildIndexes first (the engine
+// freezes at construction).
 func EvalQuery(db *storage.Database, q *cq.Query) []storage.Tuple {
+	p := Compile(q, cost.NewRowCatalog(db, q.Predicates()...))
+	p.freeze(db)
+	return p.Eval(db)
+}
+
+// freeze builds exactly the column indexes the plan's probes need so the
+// executor gets index candidates instead of scan fallbacks. This
+// preserves the previous lazy-indexing behaviour (one column per probed
+// atom, single-writer requirement) for one-shot callers; the executor
+// itself never mutates relations.
+func (p *CompiledPlan) freeze(db *storage.Database) {
+	for i := range p.components {
+		for j := range p.components[i].steps {
+			s := &p.components[i].steps[j]
+			if s.probeCol < 0 {
+				continue
+			}
+			if r := db.Relation(s.pred); r != nil {
+				r.BuildColumnIndex(s.probeCol)
+			}
+		}
+	}
+}
+
+// EvalQueryInterp is the retained tuple-at-a-time interpreter (map-based
+// bindings, per-call greedy join ordering, connected-component
+// decomposition with materialised projection pushdown). It computes the
+// same answers as EvalQuery and serves as the baseline the compiled
+// executor is benchmarked against.
+func EvalQueryInterp(db *storage.Database, q *cq.Query) []storage.Tuple {
 	var out []storage.Tuple
 	seen := make(map[string]bool)
 	collect := func(b Bindings) bool {
@@ -250,14 +290,14 @@ func valueOf(t cq.Term, b Bindings) (string, bool) {
 }
 
 // CountQuery returns the number of distinct answers without materialising
-// them in sorted order.
+// them in sorted order. It evaluates through the compiled plan, so a
+// disconnected query is counted per connected component and combined as a
+// product of distinct projection counts — not by enumerating the full
+// cross product the way the old joinBody-based count did.
 func CountQuery(db *storage.Database, q *cq.Query) int {
-	seen := make(map[string]bool)
-	joinBody(db, q.Body, q.Comparisons, make(Bindings), func(b Bindings) bool {
-		seen[headTuple(q.Head, b).Key()] = true
-		return true
-	})
-	return len(seen)
+	p := Compile(q, cost.NewRowCatalog(db, q.Predicates()...))
+	p.freeze(db)
+	return p.Count(db)
 }
 
 // MaterializeView evaluates a view definition and stores its extent in dst

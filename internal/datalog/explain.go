@@ -8,10 +8,12 @@ import (
 	"repro/internal/storage"
 )
 
-// Plan describes how EvalQuery will execute a conjunctive query: its
-// connected components, the projection decisions, and per-component join
-// orders with access-path notes. It exists for diagnostics and for the
-// cost model's documentation — production code paths do not depend on it.
+// Plan describes how the interpretive evaluator (EvalQueryInterp) executes
+// a conjunctive query: its connected components, the projection decisions,
+// and per-component join orders with access-path notes. It exists for
+// diagnostics and for the cost model's documentation — production code
+// paths do not depend on it. The compiled executor renders its own plan
+// via CompiledPlan.Describe.
 type Plan struct {
 	Components []ComponentPlan
 }

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bucket"
 	"repro/internal/containment"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/inverserules"
@@ -87,6 +89,13 @@ type Options struct {
 	KeepComparisons bool
 	// BatchWorkers bounds AnswerBatch concurrency; default GOMAXPROCS.
 	BatchWorkers int
+	// EvalWorkers is the number of goroutines a single evaluation fans
+	// its outermost join loop across (CompiledPlan.EvalParallel).
+	// 0 or 1 evaluates sequentially — the default, since request-level
+	// concurrency (AnswerBatch, many callers) usually saturates the
+	// cores already; set it explicitly (e.g. to GOMAXPROCS) when single
+	// large queries should use idle cores.
+	EvalWorkers int
 }
 
 // PlanKind discriminates what a cached plan holds.
@@ -133,10 +142,17 @@ type Plan struct {
 	Union *cq.Union
 	// Program is set for PlanInverseProgram.
 	Program *datalog.Program
+	// Compiled is the slot-based physical plan of Rewriting (PlanEquivalent).
+	Compiled *datalog.CompiledPlan
+	// CompiledUnion holds one physical plan per Union member
+	// (PlanMaxContained).
+	CompiledUnion []*datalog.CompiledPlan
 	// AnswerPred is the head predicate answers are derived under.
 	AnswerPred string
 	// BuildTime is the wall time the rewriting search took.
 	BuildTime time.Duration
+	// CompileTime is the wall time physical-plan compilation took.
+	CompileTime time.Duration
 }
 
 // StrategyStats aggregates planning work per strategy.
@@ -164,6 +180,13 @@ type Stats struct {
 	// MemoHits/MemoMisses report the shared containment memo.
 	MemoHits   uint64
 	MemoMisses uint64
+	// CompileTime is the cumulative wall time spent compiling physical
+	// plans (paid once per cache miss, amortised across hits).
+	CompileTime time.Duration
+	// ExecCount/ExecTime report plan executions: the steady-state cost of
+	// Answer once the plan cache is warm.
+	ExecCount uint64
+	ExecTime  time.Duration
 	// PerStrategy breaks down planning work by strategy.
 	PerStrategy map[Strategy]StrategyStats
 }
@@ -177,6 +200,14 @@ type Engine struct {
 	db       *storage.Database
 	opt      Options
 	memo     *containment.Memo
+	// catalog holds the frozen database's statistics, used to order joins
+	// and pick probe columns when compiling physical plans.
+	catalog *cost.Catalog
+
+	// Execution counters are atomics: the warm serving path must not
+	// serialize on the cache mutex just to record timings.
+	execCount atomic.Uint64
+	execTime  atomic.Int64 // nanoseconds
 
 	mu          sync.Mutex
 	cache       *lruCache
@@ -185,6 +216,7 @@ type Engine struct {
 	misses      uint64
 	coalesced   uint64
 	evictions   uint64
+	compileTime time.Duration
 	perStrategy map[Strategy]*StrategyStats
 }
 
@@ -222,6 +254,7 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		db:          db,
 		opt:         opt,
 		memo:        containment.NewMemo(),
+		catalog:     cost.NewCatalog(db),
 		cache:       newLRU(opt.CacheSize),
 		inflight:    make(map[string]*flight),
 		perStrategy: make(map[Strategy]*StrategyStats),
@@ -354,14 +387,48 @@ func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
 	return results, errors.Join(errs...)
 }
 
-// Eval evaluates a plan over the engine's database. Answers are sorted for
-// deterministic output.
+// Eval evaluates a plan over the engine's database. Rewriting plans run
+// through their compiled physical form with the configured EvalWorkers
+// fan-out; the database was frozen at construction, so any number of
+// evaluations may run concurrently. Answers are sorted for deterministic
+// output.
 func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
+	start := time.Now()
+	answers, err := e.evalPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	e.execCount.Add(1)
+	e.execTime.Add(int64(time.Since(start)))
+	return answers, nil
+}
+
+func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
+	workers := e.opt.EvalWorkers
+	if workers <= 0 {
+		workers = 1
+	}
 	switch p.Kind {
 	case PlanEquivalent:
-		return datalog.EvalQuery(e.db, p.Rewriting.Query), nil
+		if p.Compiled == nil { // plan built outside the engine
+			return datalog.EvalQuery(e.db, p.Rewriting.Query), nil
+		}
+		return p.Compiled.EvalParallel(e.db, workers), nil
 	case PlanMaxContained:
-		return datalog.EvalUnion(e.db, p.Union), nil
+		if p.CompiledUnion == nil {
+			return datalog.EvalUnion(e.db, p.Union), nil
+		}
+		var out []storage.Tuple
+		seen := make(map[string]bool)
+		for _, cp := range p.CompiledUnion {
+			for _, t := range cp.EvalParallelUnsorted(e.db, workers) {
+				if k := t.Key(); !seen[k] {
+					seen[k] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return storage.SortTuples(out), nil
 	case PlanInverseProgram:
 		out, err := p.Program.Eval(e.db)
 		if err != nil {
@@ -396,6 +463,9 @@ func (e *Engine) Stats() Stats {
 		CacheLen:    e.cache.len(),
 		MemoHits:    memoHits,
 		MemoMisses:  memoMisses,
+		CompileTime: e.compileTime,
+		ExecCount:   e.execCount.Load(),
+		ExecTime:    time.Duration(e.execTime.Load()),
 		PerStrategy: make(map[Strategy]StrategyStats, len(e.perStrategy)),
 	}
 	for s, agg := range e.perStrategy {
@@ -455,6 +525,20 @@ func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
 	}
 	p.BuildTime = time.Since(start)
 
+	// Lower the rewriting to its physical form once, under the frozen
+	// database's statistics; every execution of the cached plan reuses it.
+	compileStart := time.Now()
+	switch p.Kind {
+	case PlanEquivalent:
+		p.Compiled = datalog.Compile(p.Rewriting.Query, e.catalog)
+	case PlanMaxContained:
+		p.CompiledUnion = make([]*datalog.CompiledPlan, p.Union.Len())
+		for i, m := range p.Union.Queries {
+			p.CompiledUnion[i] = datalog.Compile(m, e.catalog)
+		}
+	}
+	p.CompileTime = time.Since(compileStart)
+
 	e.mu.Lock()
 	agg := e.perStrategy[e.opt.Strategy]
 	if agg == nil {
@@ -463,6 +547,7 @@ func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
 	}
 	agg.Plans++
 	agg.PlanTime += p.BuildTime
+	e.compileTime += p.CompileTime
 	e.mu.Unlock()
 	return p, nil
 }

@@ -350,3 +350,45 @@ func TestEngineErrors(t *testing.T) {
 		t.Fatal("CLI alias 'inverse' rejected")
 	}
 }
+
+// TestCompiledPlansInCache asserts the LRU holds physical plans alongside
+// the rewriting, that EvalWorkers answers agree with sequential answers
+// across strategies, and that compile/exec timings surface in Stats.
+func TestCompiledPlansInCache(t *testing.T) {
+	base, views := testBase(t)
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	want := datalog.EvalQuery(base, q)
+	for _, strat := range []Strategy{EquivalentFirst, Bucket, MiniCon} {
+		for _, workers := range []int{1, 4} {
+			e, err := NewFromBase(base, views, Options{Strategy: strat, EvalWorkers: workers})
+			if err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+			p, err := e.Plan(q)
+			if err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+			switch p.Kind {
+			case PlanEquivalent:
+				if p.Compiled == nil {
+					t.Fatalf("%s: cached plan has no compiled form", strat)
+				}
+			case PlanMaxContained:
+				if len(p.CompiledUnion) != p.Union.Len() {
+					t.Fatalf("%s: %d compiled members for %d-member union", strat, len(p.CompiledUnion), p.Union.Len())
+				}
+			}
+			got, err := e.Answer(q)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", strat, workers, err)
+			}
+			if !storage.TuplesEqual(got, want) {
+				t.Fatalf("%s workers=%d: got %v want %v", strat, workers, got, want)
+			}
+			st := e.Stats()
+			if st.ExecCount == 0 {
+				t.Fatalf("%s: ExecCount not recorded", strat)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -28,6 +29,32 @@ func (t Tuple) Clone() Tuple {
 	copy(out, t)
 	return out
 }
+
+// Compare orders tuples lexicographically column by column without
+// materialising keys, reporting -1, 0 or +1; SortTuples uses it so
+// sorting an answer set allocates nothing.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := strings.Compare(t[i], o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports t < o under Compare.
+func (t Tuple) Less(o Tuple) bool { return t.Compare(o) < 0 }
 
 // Relation is a named set of tuples of a fixed arity. Insertion order is
 // preserved for deterministic iteration; duplicates are ignored.
@@ -85,41 +112,80 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // may read it concurrently. The serving engine calls this once at
 // construction to freeze its database for parallel evaluation.
 func (r *Relation) BuildIndexes() {
+	for col := 0; col < r.arity; col++ {
+		r.BuildColumnIndex(col)
+	}
+}
+
+// BuildColumnIndex builds the hash index of a single column at the current
+// version, discarding stale indexes first. Like Lookup's lazy build it
+// mutates the relation, so it carries the same single-writer requirement;
+// one-shot evaluation uses it to index only the columns a plan probes.
+func (r *Relation) BuildColumnIndex(col int) {
+	if col < 0 || col >= r.arity {
+		return
+	}
 	if r.indexes == nil || r.indexed != r.version {
 		r.indexes = make(map[int]map[string][]int, r.arity)
 		r.indexed = r.version
 	}
-	for col := 0; col < r.arity; col++ {
-		if _, ok := r.indexes[col]; ok {
-			continue
-		}
-		idx := make(map[string][]int)
-		for i, t := range r.tuples {
-			idx[t[col]] = append(idx[t[col]], i)
-		}
-		r.indexes[col] = idx
+	if _, ok := r.indexes[col]; ok {
+		return
 	}
+	idx := make(map[string][]int)
+	for i, t := range r.tuples {
+		idx[t[col]] = append(idx[t[col]], i)
+	}
+	r.indexes[col] = idx
+}
+
+// Frozen reports whether every column index is built at the current
+// version. A frozen relation is safe for concurrent readers: Lookup and
+// LookupPositions never mutate it until the next Insert.
+func (r *Relation) Frozen() bool {
+	return r.indexes != nil && r.indexed == r.version && len(r.indexes) == r.arity
+}
+
+// LookupPositions returns the positions (indexes into Tuples()) of the
+// tuples whose column col equals val. Unlike Lookup it never builds or
+// repairs indexes: when the index for col is stale or absent it reports
+// ok=false and the caller must scan instead. The returned slice is shared
+// with the index; do not modify. Because it never mutates the relation it
+// is safe to call from any number of goroutines once the relation is
+// frozen (BuildIndexes), and — returning positions rather than a fresh
+// []Tuple — it allocates nothing.
+func (r *Relation) LookupPositions(col int, val string) (positions []int, ok bool) {
+	idx, ok := r.ColumnIndex(col)
+	if !ok {
+		return nil, false
+	}
+	return idx[val], true
+}
+
+// ColumnIndex returns the hash index of one column (value → tuple
+// positions) when it is built at the current version, without ever
+// building it. Hot loops that probe the same column many times resolve
+// the index once through this accessor instead of paying two map hops per
+// LookupPositions call. The returned map is shared; do not modify.
+func (r *Relation) ColumnIndex(col int) (map[string][]int, bool) {
+	if col < 0 || col >= r.arity || r.indexes == nil || r.indexed != r.version {
+		return nil, false
+	}
+	idx, ok := r.indexes[col]
+	return idx, ok
 }
 
 // Lookup returns the tuples whose column col equals val, using a lazily
-// built hash index.
+// built hash index. Building the index mutates the relation, so concurrent
+// readers must freeze it first (BuildIndexes); race-sensitive callers
+// should prefer LookupPositions, which falls back to reporting ok=false
+// instead of mutating.
 func (r *Relation) Lookup(col int, val string) []Tuple {
 	if col < 0 || col >= r.arity {
 		return nil
 	}
-	if r.indexes == nil || r.indexed != r.version {
-		r.indexes = make(map[int]map[string][]int)
-		r.indexed = r.version
-	}
-	idx, ok := r.indexes[col]
-	if !ok {
-		idx = make(map[string][]int)
-		for i, t := range r.tuples {
-			idx[t[col]] = append(idx[t[col]], i)
-		}
-		r.indexes[col] = idx
-	}
-	positions := idx[val]
+	r.BuildColumnIndex(col)
+	positions := r.indexes[col][val]
 	out := make([]Tuple, len(positions))
 	for i, p := range positions {
 		out[i] = r.tuples[p]
@@ -229,7 +295,7 @@ func (db *Database) TotalTuples() int {
 // SortTuples orders a tuple slice lexicographically in place and returns it;
 // useful for deterministic comparison in tests and reports.
 func SortTuples(ts []Tuple) []Tuple {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+	slices.SortFunc(ts, Tuple.Compare)
 	return ts
 }
 
