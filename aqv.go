@@ -158,6 +158,9 @@ var (
 	MiniConRewrite = minicon.Rewrite
 	// InverseRulesProgram builds the Skolemised datalog program.
 	InverseRulesProgram = inverserules.Program
+	// InverseRulesCompile builds and compiles the inverse-rules program
+	// once; evaluate the returned CompiledProgram per request.
+	InverseRulesCompile = inverserules.Compile
 	// InverseRulesAnswer answers a query over view extents via inverse
 	// rules.
 	InverseRulesAnswer = inverserules.Answer
@@ -190,6 +193,11 @@ var (
 	MaterializeViews = datalog.MaterializeViews
 	// TuplesEqual compares answer sets regardless of order.
 	TuplesEqual = storage.TuplesEqual
+	// SortTuples orders a tuple slice lexicographically in place.
+	SortTuples = storage.SortTuples
+	// CertainAnswers drops tuples containing Skolem values and sorts the
+	// rest — the certain-answer set of an inverse-rules answer relation.
+	CertainAnswers = datalog.CertainAnswers
 	// Explain returns the execution plan EvalQuery would use.
 	Explain = datalog.Explain
 )
@@ -202,6 +210,19 @@ type Plan = datalog.Plan
 // (concurrently, over a frozen database) without re-planning. The serving
 // engine caches one per query fingerprint.
 type CompiledPlan = datalog.CompiledPlan
+
+// CompiledProgram is the compiled semi-naive form of a datalog Program:
+// every rule lowered to slot plans with per-occurrence delta variants.
+// Compile once with CompileProgram (or InverseRulesCompile), then Eval /
+// EvalParallel / EvalRelation it any number of times concurrently.
+type CompiledProgram = datalog.CompiledProgram
+
+// FixpointStats reports the work of one semi-naive fixpoint evaluation.
+type FixpointStats = datalog.FixpointStats
+
+// CompileProgram lowers a datalog program to its compiled semi-naive form
+// under catalog statistics (nil is allowed).
+var CompileProgram = datalog.CompileProgram
 
 // Certain answers (see internal/certain).
 type (

@@ -57,7 +57,7 @@ func run(args []string, out *os.File) error {
 	all := fs.Bool("all", false, "enumerate all equivalent rewritings (equivalent only)")
 	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms")
 	stats := fs.Bool("stats", false, "print search statistics (engine cache counters in batch mode)")
-	explain := fs.Bool("explain", false, "print the execution plan of the chosen rewriting (needs -data)")
+	explain := fs.Bool("explain", false, "print the compiled execution plan (equivalent: the chosen rewriting, needs -data; inverse: the compiled program)")
 	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
 	workers := fs.Int("workers", 1, "batch mode: goroutines each evaluation fans its outer join loop across (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -129,16 +129,35 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		fmt.Fprintln(out, prog.String())
-		if base != nil {
-			viewDB, err := aqv.MaterializeViews(base, views)
+		if *explain || base != nil {
+			var viewDB *aqv.Database
+			if base != nil {
+				viewDB, err = aqv.MaterializeViews(base, views)
+				if err != nil {
+					return err
+				}
+				viewDB.BuildIndexes()
+			} else {
+				viewDB = aqv.NewDatabase()
+			}
+			// Compile once: -explain describes exactly the plan that runs.
+			cp, err := aqv.CompileProgram(prog, aqv.NewCatalog(viewDB))
 			if err != nil {
 				return err
 			}
-			answers, err := aqv.InverseRulesAnswer(q, views, viewDB)
-			if err != nil {
-				return err
+			if *explain {
+				fmt.Fprintf(out, "%% compiled program:\n%s", cp.Describe())
 			}
-			printAnswers(out, q.Name(), answers)
+			if base != nil {
+				derived, fst, err := cp.EvalRelation(viewDB, q.Name(), 1)
+				if err != nil {
+					return err
+				}
+				if *stats {
+					fmt.Fprintf(out, "%% fixpoint: iterations=%d derived=%d\n", fst.Iterations, fst.Derived)
+				}
+				printAnswers(out, q.Name(), aqv.CertainAnswers(derived))
+			}
 		}
 		return nil
 	default:
@@ -252,6 +271,10 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 			st.Hits, st.Misses, st.Coalesced, st.Evictions, st.CacheLen)
 		fmt.Fprintf(out, "%% engine: compile_time=%v execs=%d exec_time=%v\n",
 			st.CompileTime, st.ExecCount, st.ExecTime)
+		if st.FixpointRuns > 0 {
+			fmt.Fprintf(out, "%% engine: fixpoints=%d iterations=%d derived=%d\n",
+				st.FixpointRuns, st.FixpointIterations, st.FixpointDerived)
+		}
 		for _, s := range aqv.EngineStrategies() {
 			if agg, ok := st.PerStrategy[s]; ok {
 				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v\n", s, agg.Plans, agg.PlanTime)

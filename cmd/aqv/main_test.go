@@ -187,3 +187,39 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunInverseExplainAndStats(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "vr(A,B) :- r(A,B).\nvs(A,B) :- s(A,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-data", df, "-algo", "inverse", "-explain", "-stats"})
+	if !strings.Contains(out, "compiled program:") || !strings.Contains(out, "full") {
+		t.Fatalf("compiled program plan missing:\n%s", out)
+	}
+	if !strings.Contains(out, "fixpoint: iterations=") {
+		t.Fatalf("fixpoint stats missing:\n%s", out)
+	}
+	if !strings.Contains(out, "q(a,x).") {
+		t.Fatalf("answers missing:\n%s", out)
+	}
+	// Without data, -explain still describes the compiled program.
+	out = capture(t, []string{"-query", qf, "-views", vf, "-algo", "inverse", "-explain"})
+	if !strings.Contains(out, "compiled program:") {
+		t.Fatalf("planless explain missing:\n%s", out)
+	}
+}
+
+func TestRunBatchInverseFixpointStats(t *testing.T) {
+	dir := t.TempDir()
+	qs := writeFile(t, dir, "qs.dl", "q(X,Y) :- r(X,Z), s(Z,Y).\nq(A,B) :- r(A,C), s(C,B).")
+	vf := writeFile(t, dir, "v.dl", "vr(A,B) :- r(A,B).\nvs(A,B) :- s(A,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	out := capture(t, []string{"-queries", qs, "-views", vf, "-data", df, "-algo", "inverse", "-stats"})
+	if !strings.Contains(out, "fixpoints=2") {
+		t.Fatalf("engine fixpoint counters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hits=1") {
+		t.Fatalf("second query should hit the plan cache:\n%s", out)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/datalog"
+	"repro/internal/inverserules"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -49,11 +50,39 @@ type EvalBenchResult struct {
 	WarmAllocReductionVsInterp float64 `json:"warm_alloc_reduction_vs_interp"`
 }
 
+// ProgramBenchResult is one recursive-program workload's measurements:
+// interpretive fixpoint vs the compiled semi-naive executor.
+type ProgramBenchResult struct {
+	Name string `json:"name"`
+	// Rules is the number of rules in the program.
+	Rules int `json:"rules"`
+	// Tuples is the EDB size; Derived the IDB tuples the fixpoint adds;
+	// Iterations the semi-naive rounds.
+	Tuples     int `json:"tuples"`
+	Derived    int `json:"derived"`
+	Iterations int `json:"iterations"`
+	// Interp is Program.EvalInterp, the tuple-at-a-time baseline.
+	Interp BenchPoint `json:"interp"`
+	// Cold compiles the program and evaluates once per op.
+	Cold BenchPoint `json:"cold"`
+	// Warm evaluates a precompiled program per op (Eval: returns the full
+	// EDB+IDB database, clone included — the like-for-like comparison).
+	Warm BenchPoint `json:"warm"`
+	// WarmServing is EvalRelation on the precompiled program: the engine's
+	// steady state, answer relation only, no database clone.
+	WarmServing BenchPoint `json:"warm_serving"`
+	// WarmSpeedupVsInterp is Interp.NsPerOp / Warm.NsPerOp.
+	WarmSpeedupVsInterp float64 `json:"warm_speedup_vs_interp"`
+}
+
 // EvalBenchReport is the top-level BENCH_eval.json document.
 type EvalBenchReport struct {
 	Command    string            `json:"command"`
 	GoMaxProcs int               `json:"gomaxprocs"`
 	Workloads  []EvalBenchResult `json:"workloads"`
+	// Programs are the recursive fixpoint workloads (compiled semi-naive
+	// executor vs interpretive baseline).
+	Programs []ProgramBenchResult `json:"programs"`
 }
 
 type evalWorkload struct {
@@ -109,6 +138,70 @@ func evalWorkloads() []evalWorkload {
 	}
 	ws = append(ws, evalWorkload{"disconnected", disDB, cq.MustParseQuery("q(X) :- v1(X), v2(A), v3(B)")})
 
+	return ws
+}
+
+type programWorkload struct {
+	name       string
+	db         *storage.Database
+	prog       *datalog.Program
+	answerPred string
+}
+
+// programWorkloads mirrors the BenchmarkProgram* workloads in
+// internal/datalog: recursive transitive closures (acyclic and cyclic) and
+// the inverse-rules serving program, the shapes the ISSUE acceptance
+// criteria track.
+func programWorkloads() []programWorkload {
+	var ws []programWorkload
+	tc := func() *datalog.Program {
+		return datalog.NewProgram(
+			datalog.RuleFromQuery(cq.MustParseQuery("tc(X,Y) :- e(X,Y)")),
+			datalog.RuleFromQuery(cq.MustParseQuery("tc(X,Z) :- tc(X,Y), e(Y,Z)")),
+		)
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	chain := storage.NewDatabase()
+	for i := 0; i < 120; i++ {
+		chain.Insert("e", storage.Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+	}
+	for i := 0; i < 40; i++ {
+		from := rng.Intn(120)
+		chain.Insert("e", storage.Tuple{fmt.Sprint(from), fmt.Sprint(from + 1 + rng.Intn(5))})
+	}
+	ws = append(ws, programWorkload{"tc_chain", chain, tc(), "tc"})
+
+	rng = rand.New(rand.NewSource(62))
+	cyc := storage.NewDatabase()
+	const n = 60
+	for i := 0; i < n; i++ {
+		cyc.Insert("e", storage.Tuple{fmt.Sprint(i), fmt.Sprint((i + 1) % n)})
+	}
+	for i := 0; i < 2*n; i++ {
+		cyc.Insert("e", storage.Tuple{fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n))})
+	}
+	ws = append(ws, programWorkload{"tc_cycle", cyc, tc(), "tc"})
+
+	// Inverse-rules serving: invert v1(A,B) :- r(A,C), s(C,B) and
+	// v2(A,B) :- r(A,B) over materialised extents, then answer
+	// q(X,Y) :- r(X,Z), s(Z,Y) — built through the real inverter.
+	rng = rand.New(rand.NewSource(63))
+	viewDB := storage.NewDatabase()
+	for i := 0; i < 2000; i++ {
+		viewDB.Insert("v1", storage.Tuple{fmt.Sprint(rng.Intn(800)), fmt.Sprint(rng.Intn(800))})
+		viewDB.Insert("v2", storage.Tuple{fmt.Sprint(rng.Intn(800)), fmt.Sprint(rng.Intn(800))})
+	}
+	views := []*cq.Query{
+		cq.MustParseQuery("v1(A,B) :- r(A,C), s(C,B)"),
+		cq.MustParseQuery("v2(A,B) :- r(A,B)"),
+	}
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	prog, err := inverserules.Program(q, views)
+	if err != nil {
+		panic(err)
+	}
+	ws = append(ws, programWorkload{"inverse_serving", viewDB, prog, "q"})
 	return ws
 }
 
@@ -175,6 +268,71 @@ func runEvalBench(path string) error {
 			res.Parallel.NsPerOp, res.Interp.AllocsPerOp, res.Warm.AllocsPerOp, res.WarmAllocReductionVsInterp)
 		report.Workloads = append(report.Workloads, res)
 	}
+	for _, w := range programWorkloads() {
+		w.db.BuildIndexes()
+		cat := cost.NewCatalog(w.db)
+		rowCat := cost.NewRowCatalog(w.db)
+		cp, err := datalog.CompileProgram(w.prog, cat)
+		if err != nil {
+			return err
+		}
+		_, fst, err := cp.EvalRelation(w.db, w.answerPred, 1)
+		if err != nil {
+			return err
+		}
+		res := ProgramBenchResult{
+			Name:       w.name,
+			Rules:      len(w.prog.Rules),
+			Tuples:     w.db.TotalTuples(),
+			Derived:    fst.Derived,
+			Iterations: fst.Iterations,
+		}
+		db, prog, pred := w.db, w.prog, w.answerPred
+		res.Interp = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.EvalInterp(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		res.Cold = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cp2, err := datalog.CompileProgram(prog, rowCat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cp2.Eval(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		res.Warm = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Eval(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		res.WarmServing = toPoint(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cp.EvalRelation(db, pred, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		if res.Warm.NsPerOp > 0 {
+			res.WarmSpeedupVsInterp = res.Interp.NsPerOp / res.Warm.NsPerOp
+		}
+		fmt.Printf("%-16s derived=%-6d rounds=%-3d interp=%.0fns warm=%.0fns (%.2fx) serving=%.0fns allocs %d->%d\n",
+			res.Name, res.Derived, res.Iterations, res.Interp.NsPerOp, res.Warm.NsPerOp,
+			res.WarmSpeedupVsInterp, res.WarmServing.NsPerOp, res.Interp.AllocsPerOp, res.Warm.AllocsPerOp)
+		report.Programs = append(report.Programs, res)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

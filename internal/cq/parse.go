@@ -85,9 +85,10 @@ type tokKind uint8
 
 const (
 	tokEOF   tokKind = iota
-	tokIdent         // lower-case identifier or quoted constant
+	tokIdent         // lower-case identifier
 	tokVar           // upper-case identifier or _name
 	tokNumber
+	tokString // quoted constant; a term, never a predicate name
 	tokLParen
 	tokRParen
 	tokComma
@@ -178,7 +179,7 @@ func (p *parser) next() {
 			return
 		}
 		p.pos++ // closing quote
-		p.cur = token{tokIdent, sb.String(), start}
+		p.cur = token{tokString, sb.String(), start}
 	case c >= '0' && c <= '9' || c == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9':
 		p.pos++
 		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9') {
@@ -264,7 +265,7 @@ func (p *parser) rule() (*Query, error) {
 func (p *parser) bodyItem() (Atom, Comparison, bool, error) {
 	// A comparison starts with a term followed by an operator; an atom
 	// starts with an identifier followed by '('.
-	if p.cur.kind == tokIdent || p.cur.kind == tokVar || p.cur.kind == tokNumber {
+	if p.cur.kind == tokIdent || p.cur.kind == tokVar || p.cur.kind == tokNumber || p.cur.kind == tokString {
 		// Look ahead: save state.
 		savePos, saveCur := p.pos, p.cur
 		left, err := p.term()
@@ -346,7 +347,7 @@ func (p *parser) term() (Term, error) {
 		t := Var(p.cur.text)
 		p.next()
 		return t, nil
-	case tokIdent:
+	case tokIdent, tokString:
 		t := Const(p.cur.text)
 		p.next()
 		return t, nil

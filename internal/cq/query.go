@@ -205,8 +205,13 @@ func (q *Query) String() string {
 		}
 		sb.WriteString(a.String())
 	}
-	for _, c := range q.Comparisons {
-		sb.WriteString(", ")
+	for i, c := range q.Comparisons {
+		// No separator before the first conjunct: a (non-validated) query
+		// may have comparisons but an empty body, and "q() :- , X<1." would
+		// not re-parse.
+		if i > 0 || len(q.Body) > 0 {
+			sb.WriteString(", ")
+		}
 		sb.WriteString(c.String())
 	}
 	sb.WriteByte('.')
@@ -231,11 +236,8 @@ func (q *Query) CanonicalString() string {
 	var sb strings.Builder
 	sb.WriteString(q.Head.String())
 	sb.WriteString(" :- ")
-	sb.WriteString(strings.Join(body, ", "))
-	if len(comps) > 0 {
-		sb.WriteString(", ")
-		sb.WriteString(strings.Join(comps, ", "))
-	}
+	conjuncts := append(body, comps...)
+	sb.WriteString(strings.Join(conjuncts, ", "))
 	sb.WriteByte('.')
 	return sb.String()
 }

@@ -75,7 +75,7 @@ func needsQuoting(lex string) bool {
 	if lex == "" {
 		return true
 	}
-	if _, err := strconv.ParseFloat(lex, 64); err == nil {
+	if isNumberLexeme(lex) {
 		return false
 	}
 	c := lex[0]
@@ -91,6 +91,32 @@ func needsQuoting(lex string) bool {
 		}
 	}
 	return false
+}
+
+// isNumberLexeme reports whether lex is exactly one numeric token of the
+// surface syntax: optional '-', a digit, then digits or dots each followed
+// by a digit. This is deliberately the lexer's grammar, not ParseFloat's —
+// spellings like "0.", ".5", "1e5" or "NaN" parse as floats but would not
+// re-tokenize as a single number, so they must be quoted when printed.
+func isNumberLexeme(lex string) bool {
+	i := 0
+	if lex[0] == '-' {
+		i++
+	}
+	if i >= len(lex) || lex[i] < '0' || lex[i] > '9' {
+		return false
+	}
+	for i++; i < len(lex); i++ {
+		c := lex[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '.' && i+1 < len(lex) && lex[i+1] >= '0' && lex[i+1] <= '9' {
+			continue
+		}
+		return false
+	}
+	return true
 }
 
 // CompareConst orders two constant terms: numerically when both lexemes are

@@ -690,27 +690,35 @@ func (p *CompiledPlan) Describe() string {
 		}
 		sb.WriteByte('\n')
 		for j := range c.steps {
-			s := &c.steps[j]
-			access := "scan"
-			if s.probeCol >= 0 {
-				if s.probeSlot >= 0 {
-					access = fmt.Sprintf("index(col=%d <- slot %d)", s.probeCol, s.probeSlot)
-				} else {
-					access = fmt.Sprintf("index(col=%d = %q)", s.probeCol, s.probeConst)
-				}
-			}
-			fmt.Fprintf(&sb, "  %d. %s  %s", j+1, s.pred, access)
-			if s.existential {
-				sb.WriteString("  existential")
-			}
-			if s.dedup {
-				sb.WriteString("  dedup")
-			}
-			if len(s.comps) > 0 {
-				fmt.Fprintf(&sb, "  comparisons=%d", len(s.comps))
-			}
-			sb.WriteByte('\n')
+			describeStep(&sb, "  ", j, &c.steps[j], false)
 		}
 	}
 	return sb.String()
+}
+
+// describeStep renders one join step (access path, flags, comparisons) for
+// the plan and program Describe methods. deltaRoot marks the first step of
+// a delta variant, whose candidates come from the round's delta instead of
+// the step's access path.
+func describeStep(sb *strings.Builder, indent string, idx int, s *compiledStep, deltaRoot bool) {
+	access := "scan"
+	switch {
+	case deltaRoot:
+		access = "delta"
+	case s.probeCol >= 0 && s.probeSlot >= 0:
+		access = fmt.Sprintf("index(col=%d <- slot %d)", s.probeCol, s.probeSlot)
+	case s.probeCol >= 0:
+		access = fmt.Sprintf("index(col=%d = %q)", s.probeCol, s.probeConst)
+	}
+	fmt.Fprintf(sb, "%s%d. %s  %s", indent, idx+1, s.pred, access)
+	if s.existential {
+		sb.WriteString("  existential")
+	}
+	if s.dedup {
+		sb.WriteString("  dedup")
+	}
+	if len(s.comps) > 0 {
+		fmt.Fprintf(sb, "  comparisons=%d", len(s.comps))
+	}
+	sb.WriteByte('\n')
 }

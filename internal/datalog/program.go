@@ -32,7 +32,14 @@ func (s Skolem) Value(b Bindings) (string, bool) {
 		}
 		parts[i] = v
 	}
-	return "⟨" + s.Name + ":" + strings.Join(parts, "\x1f") + "⟩", true
+	return skolemValue(s.Name, parts), true
+}
+
+// skolemValue builds the tagged data value of a Skolem application. The
+// interpreter (Skolem.Value) and the compiled head emitter share it so the
+// two evaluators always construct identical values.
+func skolemValue(name string, parts []string) string {
+	return "⟨" + name + ":" + strings.Join(parts, "\x1f") + "⟩"
 }
 
 // IsSkolemValue reports whether a data value was constructed by a Skolem
@@ -49,6 +56,20 @@ func HasSkolem(t storage.Tuple) bool {
 		}
 	}
 	return false
+}
+
+// CertainAnswers filters out tuples containing Skolem values (unknown
+// constants an inverse-rules fixpoint invented) and returns the rest in
+// sorted order — the certain-answer set of an answer relation. The input
+// slice is not modified.
+func CertainAnswers(tuples []storage.Tuple) []storage.Tuple {
+	answers := make([]storage.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		if !HasSkolem(t) {
+			answers = append(answers, t)
+		}
+	}
+	return storage.SortTuples(answers)
 }
 
 // HeadTerm is one argument position of a rule head: a plain term or a
@@ -155,10 +176,15 @@ func (p *Program) String() string {
 	return strings.Join(lines, "\n")
 }
 
-// Eval computes the fixpoint of the program over the EDB semi-naively and
-// returns a database containing the EDB relations plus all derived (IDB)
-// relations. The input database is not modified.
-func (p *Program) Eval(edb *storage.Database) (*storage.Database, error) {
+// EvalInterp computes the fixpoint of the program over the EDB semi-naively
+// with the tuple-at-a-time interpreter (map-based bindings, per-call greedy
+// join ordering) and returns a database containing the EDB relations plus
+// all derived (IDB) relations. The input database is not modified.
+//
+// It computes the same relations as the compiled Eval and serves as the
+// baseline the compiled fixpoint executor is benchmarked and differentially
+// tested against.
+func (p *Program) EvalInterp(edb *storage.Database) (*storage.Database, error) {
 	db := edb.Clone()
 	// delta holds tuples derived in the previous round, per predicate.
 	delta := make(map[string][]storage.Tuple)

@@ -147,6 +147,11 @@ type Plan struct {
 	// CompiledUnion holds one physical plan per Union member
 	// (PlanMaxContained).
 	CompiledUnion []*datalog.CompiledPlan
+	// CompiledProgram is the compiled semi-naive form of Program
+	// (PlanInverseProgram): every rule lowered to slot plans with delta
+	// variants, cached beside the rewriting so the fixpoint is never
+	// re-planned on the warm path.
+	CompiledProgram *datalog.CompiledProgram
 	// AnswerPred is the head predicate answers are derived under.
 	AnswerPred string
 	// BuildTime is the wall time the rewriting search took.
@@ -187,6 +192,12 @@ type Stats struct {
 	// Answer once the plan cache is warm.
 	ExecCount uint64
 	ExecTime  time.Duration
+	// FixpointRuns counts compiled semi-naive fixpoint evaluations
+	// (inverse-rules plans); FixpointIterations and FixpointDerived
+	// accumulate their rounds and derived-tuple counts.
+	FixpointRuns       uint64
+	FixpointIterations uint64
+	FixpointDerived    uint64
 	// PerStrategy breaks down planning work by strategy.
 	PerStrategy map[Strategy]StrategyStats
 }
@@ -206,8 +217,11 @@ type Engine struct {
 
 	// Execution counters are atomics: the warm serving path must not
 	// serialize on the cache mutex just to record timings.
-	execCount atomic.Uint64
-	execTime  atomic.Int64 // nanoseconds
+	execCount     atomic.Uint64
+	execTime      atomic.Int64 // nanoseconds
+	fixpointRuns  atomic.Uint64
+	fixpointIters atomic.Uint64
+	fixpointDrvd  atomic.Uint64
 
 	mu          sync.Mutex
 	cache       *lruCache
@@ -388,10 +402,10 @@ func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
 }
 
 // Eval evaluates a plan over the engine's database. Rewriting plans run
-// through their compiled physical form with the configured EvalWorkers
-// fan-out; the database was frozen at construction, so any number of
-// evaluations may run concurrently. Answers are sorted for deterministic
-// output.
+// through their compiled physical form, and inverse-rules plans through the
+// compiled semi-naive fixpoint, with the configured EvalWorkers fan-out;
+// the database was frozen at construction, so any number of evaluations may
+// run concurrently. Answers are sorted for deterministic output.
 func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
 	start := time.Now()
 	answers, err := e.evalPlan(p)
@@ -430,21 +444,26 @@ func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
 		}
 		return storage.SortTuples(out), nil
 	case PlanInverseProgram:
-		out, err := p.Program.Eval(e.db)
-		if err != nil {
-			return nil, err
-		}
-		rel := out.Relation(p.AnswerPred)
-		if rel == nil {
-			return nil, nil
-		}
-		var answers []storage.Tuple
-		for _, t := range rel.Tuples() {
-			if !datalog.HasSkolem(t) {
-				answers = append(answers, t)
+		var derived []storage.Tuple
+		if p.CompiledProgram != nil {
+			tuples, fst, err := p.CompiledProgram.EvalRelation(e.db, p.AnswerPred, workers)
+			if err != nil {
+				return nil, err
+			}
+			e.fixpointRuns.Add(1)
+			e.fixpointIters.Add(uint64(fst.Iterations))
+			e.fixpointDrvd.Add(uint64(fst.Derived))
+			derived = tuples
+		} else { // plan built outside the engine
+			out, err := p.Program.Eval(e.db)
+			if err != nil {
+				return nil, err
+			}
+			if rel := out.Relation(p.AnswerPred); rel != nil {
+				derived = rel.Tuples()
 			}
 		}
-		return storage.SortTuples(answers), nil
+		return datalog.CertainAnswers(derived), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan kind %d", p.Kind)
 	}
@@ -456,17 +475,20 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Stats{
-		Hits:        e.hits,
-		Misses:      e.misses,
-		Coalesced:   e.coalesced,
-		Evictions:   e.evictions,
-		CacheLen:    e.cache.len(),
-		MemoHits:    memoHits,
-		MemoMisses:  memoMisses,
-		CompileTime: e.compileTime,
-		ExecCount:   e.execCount.Load(),
-		ExecTime:    time.Duration(e.execTime.Load()),
-		PerStrategy: make(map[Strategy]StrategyStats, len(e.perStrategy)),
+		Hits:               e.hits,
+		Misses:             e.misses,
+		Coalesced:          e.coalesced,
+		Evictions:          e.evictions,
+		CacheLen:           e.cache.len(),
+		MemoHits:           memoHits,
+		MemoMisses:         memoMisses,
+		CompileTime:        e.compileTime,
+		ExecCount:          e.execCount.Load(),
+		ExecTime:           time.Duration(e.execTime.Load()),
+		FixpointRuns:       e.fixpointRuns.Load(),
+		FixpointIterations: e.fixpointIters.Load(),
+		FixpointDerived:    e.fixpointDrvd.Load(),
+		PerStrategy:        make(map[Strategy]StrategyStats, len(e.perStrategy)),
 	}
 	for s, agg := range e.perStrategy {
 		st.PerStrategy[s] = *agg
@@ -536,6 +558,12 @@ func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
 		for i, m := range p.Union.Queries {
 			p.CompiledUnion[i] = datalog.Compile(m, e.catalog)
 		}
+	case PlanInverseProgram:
+		cp, err := datalog.CompileProgram(p.Program, e.catalog)
+		if err != nil {
+			return nil, err
+		}
+		p.CompiledProgram = cp
 	}
 	p.CompileTime = time.Since(compileStart)
 

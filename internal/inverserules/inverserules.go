@@ -8,12 +8,16 @@
 // The algorithm produces the maximally-contained answer set for conjunctive
 // queries and is notable for doing no rewriting-time search at all — its
 // cost shifts entirely to evaluation time, which experiment F4 measures
-// against evaluating the MiniCon rewriting.
+// against evaluating the MiniCon rewriting. That evaluation now runs on the
+// compiled semi-naive executor (datalog.CompileProgram): Answer compiles the
+// program on the fly, and serving callers should Compile once and evaluate
+// the returned CompiledProgram per request, as the engine's plan cache does.
 package inverserules
 
 import (
 	"fmt"
 
+	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/storage"
@@ -97,9 +101,23 @@ func Program(q *cq.Query, views []*cq.Query) (*datalog.Program, error) {
 	return p, nil
 }
 
+// Compile builds the inverse-rules program for q over views and lowers it to
+// its compiled semi-naive form under the catalog's statistics (nil falls
+// back to bound-columns-first join ordering). The result is immutable and
+// may be evaluated concurrently; the serving engine caches it in its plan
+// LRU beside the rewriting plans.
+func Compile(q *cq.Query, views []*cq.Query, cat *cost.Catalog) (*datalog.CompiledProgram, error) {
+	p, err := Program(q, views)
+	if err != nil {
+		return nil, err
+	}
+	return datalog.CompileProgram(p, cat)
+}
+
 // Answer evaluates the query over the view extents in viewDB using inverse
 // rules and returns the certain answers (tuples free of Skolem values), in
-// sorted order.
+// sorted order. The fixpoint runs on the compiled semi-naive executor via
+// Program.Eval; repeated callers should Compile once instead.
 func Answer(q *cq.Query, views []*cq.Query, viewDB *storage.Database) ([]storage.Tuple, error) {
 	p, err := Program(q, views)
 	if err != nil {
@@ -113,11 +131,5 @@ func Answer(q *cq.Query, views []*cq.Query, viewDB *storage.Database) ([]storage
 	if rel == nil {
 		return nil, nil
 	}
-	var answers []storage.Tuple
-	for _, t := range rel.Tuples() {
-		if !datalog.HasSkolem(t) {
-			answers = append(answers, t)
-		}
-	}
-	return storage.SortTuples(answers), nil
+	return datalog.CertainAnswers(rel.Tuples()), nil
 }
