@@ -21,6 +21,12 @@
 //	eng, _ := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{})
 //	answers, _ := eng.Answer(q) // repeated/α-equivalent queries hit the plan cache
 //
+// With EngineOptions.LiveUpdates the engine additionally accepts base-fact
+// inserts (Engine.Insert/InsertBatch/ApplyBatch), delta-maintaining every
+// view extent per batch instead of freezing the database at construction;
+// cached plans survive updates, and concurrent readers see torn-free
+// snapshots.
+//
 // See examples/ for complete programs and DESIGN.md for the system map.
 package aqv
 
@@ -34,6 +40,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/inverserules"
+	"repro/internal/ivm"
 	"repro/internal/minicon"
 	"repro/internal/storage"
 )
@@ -223,6 +230,37 @@ type FixpointStats = datalog.FixpointStats
 // CompileProgram lowers a datalog program to its compiled semi-naive form
 // under catalog statistics (nil is allowed).
 var CompileProgram = datalog.CompileProgram
+
+// CompileProgramIVM is CompileProgram plus one delta plan per EDB body
+// occurrence, enabling CompiledProgram.MaintainDelta/ApplyInserts: base
+// inserts propagate into already materialized derived relations without
+// re-running the fixpoint.
+var CompileProgramIVM = datalog.CompileProgramIVM
+
+// Incremental view maintenance (see internal/ivm). A Maintainer keeps
+// materialized view extents consistent under base-fact inserts by running
+// compiled delta plans — one semi-naive propagation per update batch —
+// instead of re-materializing. The live engine (EngineOptions.LiveUpdates)
+// embeds one; use it directly to maintain extents without the serving
+// layer.
+type (
+	// Maintainer delta-maintains view extents over a base database.
+	Maintainer = ivm.Maintainer
+	// MaintainerOptions configures a Maintainer.
+	MaintainerOptions = ivm.Options
+	// MaintainerBatch reports one applied update batch.
+	MaintainerBatch = ivm.BatchResult
+	// MaintainerStats aggregates a Maintainer's lifetime work.
+	MaintainerStats = ivm.Stats
+)
+
+// NewMaintainer materializes the views over base once and returns a
+// Maintainer that keeps the extents fresh under ApplyBatch.
+var NewMaintainer = ivm.New
+
+// ErrEngineNotLive reports Insert/InsertBatch/ApplyBatch on an engine
+// built without EngineOptions.LiveUpdates.
+var ErrEngineNotLive = engine.ErrNotLive
 
 // Certain answers (see internal/certain).
 type (

@@ -7,6 +7,7 @@
 //	    [-data facts.dl] [-all] [-partial] [-stats]
 //	aqv -queries stream.dl -views views.dl [-data facts.dl] [-algo ...]
 //	    [-cache N] [-stats]
+//	aqv -stream mixed.dl -views views.dl [-data facts.dl] [-algo ...] [-stats]
 //
 // The query file holds one rule; the views file holds one rule per view.
 // The optional data file holds ground facts for the *base* relations; view
@@ -17,6 +18,14 @@
 // repeated or α-equivalent queries in the stream are planned once and
 // served from the cache. With -stats the engine's hit/miss/coalescing
 // counters are printed after the stream.
+//
+// Update-stream mode (-stream) serves a live workload that interleaves
+// base-fact inserts with queries, one statement per line ("-" reads
+// stdin): ground facts accumulate into a batch, and each query rule first
+// applies the pending batch — delta-maintaining every view extent through
+// the engine's incremental maintenance path, no re-materialization — then
+// answers over the updated extents. With -stats the engine's update
+// counters (batches, delta tuples, maintenance time) are printed too.
 //
 // Example:
 //
@@ -34,6 +43,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	aqv "repro"
 	"repro/internal/cq"
@@ -51,6 +61,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("aqv", flag.ContinueOnError)
 	queryPath := fs.String("query", "", "file containing the query rule")
 	queriesPath := fs.String("queries", "", "batch mode: file with a stream of query rules ('-' = stdin), answered through one plan-caching engine")
+	streamPath := fs.String("stream", "", "live mode: file interleaving ground facts (inserts) and query rules ('-' = stdin), served by one live engine that delta-maintains the view extents")
 	viewsPath := fs.String("views", "", "file containing view definitions")
 	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
 	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse")
@@ -63,12 +74,18 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*queryPath == "" && *queriesPath == "") || *viewsPath == "" {
-		fs.Usage()
-		return fmt.Errorf("-query (or -queries) and -views are required")
+	modes := 0
+	for _, p := range []string{*queryPath, *queriesPath, *streamPath} {
+		if p != "" {
+			modes++
+		}
 	}
-	if *queryPath != "" && *queriesPath != "" {
-		return fmt.Errorf("-query and -queries are mutually exclusive")
+	if modes == 0 || *viewsPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-query (or -queries, or -stream) and -views are required")
+	}
+	if modes > 1 {
+		return fmt.Errorf("-query, -queries and -stream are mutually exclusive")
 	}
 
 	views, err := loadViews(*viewsPath)
@@ -88,11 +105,16 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	if *queriesPath != "" {
+	if *queriesPath != "" || *streamPath != "" {
 		if *workers <= 0 {
 			*workers = runtime.GOMAXPROCS(0)
 		}
+	}
+	if *queriesPath != "" {
 		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
+	}
+	if *streamPath != "" {
+		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
 	}
 
 	q, err := loadQuery(*queryPath)
@@ -280,6 +302,115 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v\n", s, agg.Plans, agg.PlanTime)
 			}
 		}
+	}
+	return nil
+}
+
+// runStream serves an interleaved update/query stream through one live
+// engine: ground facts accumulate into a pending batch; each query rule
+// applies the batch (delta-maintaining the extents) and then answers over
+// the updated snapshot. One statement per line; trailing facts are applied
+// at end of stream.
+func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, stats bool) error {
+	strategy, err := aqv.ParseStrategy(algo)
+	if err != nil {
+		return err
+	}
+	if base == nil {
+		base = aqv.NewDatabase()
+	}
+	eng, err := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{
+		Strategy:        strategy,
+		CacheSize:       cacheSize,
+		AllowPartial:    partial,
+		KeepComparisons: true,
+		EvalWorkers:     workers,
+		LiveUpdates:     true,
+	})
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	step := 0
+	pending := make(map[string][]aqv.Tuple)
+	npending := 0
+	flush := func() error {
+		if npending == 0 {
+			return nil
+		}
+		before := eng.Stats()
+		if err := eng.ApplyBatch(pending); err != nil {
+			return err
+		}
+		after := eng.Stats()
+		step++
+		fmt.Fprintf(out, "%% [%d] batch: %d insert(s), %d new, +%d extent tuple(s), maintain=%v\n",
+			step, npending, after.UpdateTuples-before.UpdateTuples,
+			after.DeltaDerived-before.DeltaDerived, after.MaintainTime-before.MaintainTime)
+		pending = make(map[string][]aqv.Tuple)
+		npending = 0
+		return nil
+	}
+	for lineno, line := range strings.Split(string(data), "\n") {
+		stmt := strings.TrimSpace(line)
+		if stmt == "" || strings.HasPrefix(stmt, "%") {
+			continue
+		}
+		prog, err := aqv.ParseProgram(stmt)
+		if err != nil {
+			return fmt.Errorf("stream line %d: %w", lineno+1, err)
+		}
+		if len(prog.Facts) > 0 && len(prog.Queries) > 0 {
+			// Mixing both on one line would silently reorder: facts batch
+			// up, so a query would see inserts written after it.
+			return fmt.Errorf("stream line %d: facts and queries on one line; put each statement on its own line", lineno+1)
+		}
+		for _, f := range prog.Facts {
+			t := make(aqv.Tuple, len(f.Args))
+			for i, arg := range f.Args {
+				t[i] = arg.Lex
+			}
+			pending[f.Pred] = append(pending[f.Pred], t)
+			npending++
+		}
+		for _, q := range prog.Queries {
+			if err := q.Validate(); err != nil {
+				return fmt.Errorf("stream line %d: %w", lineno+1, err)
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			step++
+			p, err := eng.Plan(q)
+			if err != nil {
+				return fmt.Errorf("stream line %d (%s): %w", lineno+1, q.Name(), err)
+			}
+			fmt.Fprintf(out, "%% [%d] %s\n", step, q)
+			answers, err := eng.Eval(p)
+			if err != nil {
+				return err
+			}
+			printAnswers(out, q.Name(), answers)
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if stats {
+		st := eng.Stats()
+		fmt.Fprintf(out, "%% engine: hits=%d misses=%d cached=%d execs=%d exec_time=%v\n",
+			st.Hits, st.Misses, st.CacheLen, st.ExecCount, st.ExecTime)
+		fmt.Fprintf(out, "%% engine: update_batches=%d update_tuples=%d delta_derived=%d maintain_time=%v\n",
+			st.UpdateBatches, st.UpdateTuples, st.DeltaDerived, st.MaintainTime)
 	}
 	return nil
 }

@@ -223,3 +223,71 @@ func TestRunBatchInverseFixpointStats(t *testing.T) {
 		t.Fatalf("second query should hit the plan cache:\n%s", out)
 	}
 }
+
+// TestRunStream drives the live update-stream mode: inserts interleaved
+// with queries, each query seeing all updates that precede it.
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	sf := writeFile(t, dir, "stream.dl", `
+		q(X,Y) :- r(X,Z), s(Z,Y).
+		% a batch of inserts, then the same query again
+		r(b,n).
+		s(n,y).
+		q(X,Y) :- r(X,Z), s(Z,Y).
+		r(c,m).
+	`)
+	out := capture(t, []string{"-stream", sf, "-views", vf, "-data", df, "-stats"})
+	// First query: one answer; second query: two (the batch joined b→y).
+	if !strings.Contains(out, "% 1 answer(s):") || !strings.Contains(out, "% 2 answer(s):") {
+		t.Fatalf("answer counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "q(b,y).") {
+		t.Fatalf("maintained answer missing:\n%s", out)
+	}
+	// The batch line reports inserts and derived extent tuples.
+	if !strings.Contains(out, "2 insert(s), 2 new, +1 extent tuple(s)") {
+		t.Fatalf("batch report missing:\n%s", out)
+	}
+	// The trailing fact is applied after the last query (batch 2 derives
+	// v(c,x)), and the repeated query hit the plan cache.
+	if !strings.Contains(out, "update_batches=2") {
+		t.Fatalf("update counters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hits=1") || !strings.Contains(out, "misses=1") {
+		t.Fatalf("plan cache stats wrong (want hits=1 misses=1):\n%s", out)
+	}
+	if !strings.Contains(out, "delta_derived=2") {
+		t.Fatalf("delta_derived wrong (want 2: v(b,y) and v(c,x)):\n%s", out)
+	}
+}
+
+// TestRunStreamErrors: inserting into a view extent fails, as does a
+// malformed statement, and -stream excludes the other modes.
+func TestRunStreamErrors(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,B).")
+	qf := writeFile(t, dir, "q.dl", "q(X) :- r(X,Y).")
+	bad := writeFile(t, dir, "bad.dl", "v(a,b).\nq(X) :- r(X,Y).")
+	if err := run([]string{"-stream", bad, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("insert into view extent accepted")
+	}
+	malformed := writeFile(t, dir, "mal.dl", "not a statement ((")
+	if err := run([]string{"-stream", malformed, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	if err := run([]string{"-stream", bad, "-query", qf, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("-stream with -query accepted")
+	}
+}
+
+func TestRunStreamRejectsMixedLine(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,B).")
+	mixed := writeFile(t, dir, "mixed.dl", "q(X) :- r(X,Y). r(a,b).")
+	if err := run([]string{"-stream", mixed, "-views", vf}, os.Stdout); err == nil ||
+		!strings.Contains(err.Error(), "own line") {
+		t.Fatalf("mixed fact/query line: err = %v, want rejection", err)
+	}
+}

@@ -79,7 +79,12 @@ type compiledRule struct {
 	arity    int
 	full     ruleVariant
 	deltas   []ruleVariant
-	src      Rule // retained for Describe
+	// edbDeltas are per-EDB-occurrence delta variants, compiled only for
+	// maintenance programs (CompileProgramIVM): they seed a MaintainDelta
+	// round from a batch of base-relation inserts, exactly as the IDB
+	// variants in deltas continue it from derived tuples.
+	edbDeltas []ruleVariant
+	src       Rule // retained for Describe
 }
 
 // FixpointStats reports the work of one semi-naive evaluation.
@@ -103,6 +108,9 @@ type CompiledProgram struct {
 	// probes; per-call IDB relations maintain exactly these hash indexes
 	// incrementally.
 	idbProbeCols map[string][]int
+	// ivm marks programs compiled with per-EDB-occurrence delta variants
+	// (CompileProgramIVM); only those support MaintainDelta.
+	ivm bool
 }
 
 // CompileProgram lowers a program to compiled-rule form using catalog
@@ -111,12 +119,26 @@ type CompiledProgram struct {
 // predicate with different arities — the interpreter reports the same
 // conflict at evaluation time.
 func CompileProgram(p *Program, cat *cost.Catalog) (*CompiledProgram, error) {
+	return compileProgram(p, cat, false)
+}
+
+// CompileProgramIVM is CompileProgram for incremental view maintenance: in
+// addition to the per-IDB-occurrence delta variants it lowers one delta
+// variant per EDB body occurrence, so MaintainDelta can seed a semi-naive
+// propagation round directly from a batch of base-relation inserts instead
+// of re-running the fixpoint from scratch.
+func CompileProgramIVM(p *Program, cat *cost.Catalog) (*CompiledProgram, error) {
+	return compileProgram(p, cat, true)
+}
+
+func compileProgram(p *Program, cat *cost.Catalog, ivm bool) (*CompiledProgram, error) {
 	if cat == nil {
 		cat = &cost.Catalog{}
 	}
 	cp := &CompiledProgram{
 		idbArity:     make(map[string]int),
 		idbProbeCols: make(map[string][]int),
+		ivm:          ivm,
 	}
 	for _, r := range p.Rules {
 		if prev, ok := cp.idbArity[r.HeadPred]; ok && prev != len(r.Head) {
@@ -130,12 +152,17 @@ func CompileProgram(p *Program, cat *cost.Catalog) (*CompiledProgram, error) {
 		cr.full = compileRuleVariant(r, -1, cat)
 		collectProbeCols(cp.idbArity, probeCols, cr.full.steps)
 		for pos, a := range r.Body {
-			if _, idb := cp.idbArity[a.Pred]; !idb {
-				continue
+			_, idb := cp.idbArity[a.Pred]
+			switch {
+			case idb:
+				v := compileRuleVariant(r, pos, cat)
+				collectProbeCols(cp.idbArity, probeCols, v.steps)
+				cr.deltas = append(cr.deltas, v)
+			case ivm:
+				v := compileRuleVariant(r, pos, cat)
+				collectProbeCols(cp.idbArity, probeCols, v.steps)
+				cr.edbDeltas = append(cr.edbDeltas, v)
 			}
-			v := compileRuleVariant(r, pos, cat)
-			collectProbeCols(cp.idbArity, probeCols, v.steps)
-			cr.deltas = append(cr.deltas, v)
 		}
 		cp.rules = append(cp.rules, cr)
 	}
@@ -466,20 +493,30 @@ func (cp *CompiledProgram) run(edb *storage.Database, workers int) (map[string]*
 // relations and the (read-only until merge) dedup sets, and write nothing
 // shared.
 func (cp *CompiledProgram) runRound(edb *storage.Database, idb map[string]*idbRel, tasks []fixTask, workers int) ([][]derivedTuple, error) {
-	bufs := make([][]derivedTuple, len(tasks))
-	errs := make([]error, len(tasks))
-	if workers > len(tasks) {
-		workers = len(tasks)
+	return runTaskSet(len(tasks), workers, func(i int) ([]derivedTuple, error) {
+		return cp.runVariant(edb, idb, tasks[i])
+	})
+}
+
+// runTaskSet executes n independent task bodies across up to workers
+// goroutines, collecting each body's derivation buffer. Bodies only read
+// round-stable state, so the fan-out needs no locks; the fixpoint rounds
+// and the maintenance rounds (MaintainDelta) share it.
+func runTaskSet(n, workers int, run func(int) ([]derivedTuple, error)) ([][]derivedTuple, error) {
+	bufs := make([][]derivedTuple, n)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, t := range tasks {
-			bufs[i], errs[i] = cp.runVariant(edb, idb, t)
-			if errs[i] != nil {
-				return nil, errs[i]
+		for i := 0; i < n; i++ {
+			var err error
+			if bufs[i], err = run(i); err != nil {
+				return nil, err
 			}
 		}
 		return bufs, nil
 	}
+	errs := make([]error, n)
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -487,11 +524,11 @@ func (cp *CompiledProgram) runRound(edb *storage.Database, idb map[string]*idbRe
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				bufs[i], errs[i] = cp.runVariant(edb, idb, tasks[i])
+				bufs[i], errs[i] = run(i)
 			}
 		}()
 	}
-	for i := range tasks {
+	for i := 0; i < n; i++ {
 		work <- i
 	}
 	close(work)
@@ -629,6 +666,10 @@ func (cp *CompiledProgram) Describe() string {
 		for j := range r.deltas {
 			v := &r.deltas[j]
 			describeVariant(&sb, fmt.Sprintf("Δ%s@%d", v.deltaPred, v.deltaPos), v)
+		}
+		for j := range r.edbDeltas {
+			v := &r.edbDeltas[j]
+			describeVariant(&sb, fmt.Sprintf("Δ%s@%d (edb)", v.deltaPred, v.deltaPos), v)
 		}
 	}
 	return sb.String()

@@ -32,9 +32,14 @@ import (
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/inverserules"
+	"repro/internal/ivm"
 	"repro/internal/minicon"
 	"repro/internal/storage"
 )
+
+// ErrNotLive reports a mutation on an engine built without
+// Options.LiveUpdates.
+var ErrNotLive = errors.New("engine: built without Options.LiveUpdates; base facts are frozen")
 
 // Strategy selects the rewriting algorithm an Engine plans with.
 type Strategy string
@@ -96,6 +101,13 @@ type Options struct {
 	// cores already; set it explicitly (e.g. to GOMAXPROCS) when single
 	// large queries should use idle cores.
 	EvalWorkers int
+	// LiveUpdates enables the mutation path: Insert/InsertBatch/ApplyBatch
+	// apply base facts and delta-maintain every view extent instead of the
+	// database being frozen forever at construction. Requires NewFromBase
+	// (the engine must see the base relations to maintain extents).
+	// Cached plans survive updates — rewritings depend only on the view
+	// definitions, never on extent contents.
+	LiveUpdates bool
 }
 
 // PlanKind discriminates what a cached plan holds.
@@ -198,22 +210,37 @@ type Stats struct {
 	FixpointRuns       uint64
 	FixpointIterations uint64
 	FixpointDerived    uint64
+	// UpdateBatches counts applied live-update batches (LiveUpdates
+	// engines); UpdateTuples the base tuples that were new across them,
+	// and DeltaDerived the extent tuples delta-maintenance derived.
+	UpdateBatches uint64
+	UpdateTuples  uint64
+	DeltaDerived  uint64
+	// MaintainTime is the cumulative wall time of update batches:
+	// delta propagation plus the serving-snapshot appends.
+	MaintainTime time.Duration
 	// PerStrategy breaks down planning work by strategy.
 	PerStrategy map[Strategy]StrategyStats
 }
 
 // Engine answers conjunctive queries over materialised views. It is safe
-// for concurrent use; the database it serves from is frozen (indexed) at
-// construction and must not be mutated afterwards.
+// for concurrent use. Without Options.LiveUpdates the database it serves
+// from is frozen (indexed) at construction and must not be mutated
+// afterwards; with LiveUpdates, Insert/InsertBatch/ApplyBatch apply base
+// facts and delta-maintain every extent while answers keep flowing.
 type Engine struct {
 	views    *core.ViewSet
 	viewDefs []*cq.Query
 	db       *storage.Database
 	opt      Options
 	memo     *containment.Memo
-	// catalog holds the frozen database's statistics, used to order joins
-	// and pick probe columns when compiling physical plans.
+	// catalog holds the construction-time database statistics, used to
+	// order joins and pick probe columns when compiling physical plans.
+	// Live updates let it drift: statistics only steer plan shape, never
+	// correctness.
 	catalog *cost.Catalog
+	// live is the update path (nil without Options.LiveUpdates).
+	live *liveState
 
 	// Execution counters are atomics: the warm serving path must not
 	// serialize on the cache mutex just to record timings.
@@ -222,6 +249,10 @@ type Engine struct {
 	fixpointRuns  atomic.Uint64
 	fixpointIters atomic.Uint64
 	fixpointDrvd  atomic.Uint64
+	updBatches    atomic.Uint64
+	updTuples     atomic.Uint64
+	updDerived    atomic.Uint64
+	maintainTime  atomic.Int64 // nanoseconds
 
 	mu          sync.Mutex
 	cache       *lruCache
@@ -232,6 +263,32 @@ type Engine struct {
 	evictions   uint64
 	compileTime time.Duration
 	perStrategy map[Strategy]*StrategyStats
+}
+
+// liveState is the engine's mutation machinery: the incremental maintainer
+// that turns base inserts into extent deltas, and a left-right pair of
+// serving databases giving readers torn-free snapshots without blocking
+// them behind maintenance.
+//
+// Readers snapshot the active side under its RLock. A writer (one at a
+// time, under updateMu) first computes the batch's extent deltas on the
+// maintainer's private database, then appends the deltas to the inactive
+// side under its write lock, publishes that side as active, and finally
+// appends to the formerly active side once its readers drain. Every
+// mutation of a serving side happens under that side's write lock, so a
+// reader sees either the pre-batch or the post-batch database — never a
+// torn mix — while reads on the active side proceed during maintenance.
+type liveState struct {
+	maint *ivm.Maintainer
+	// servesBase: the serving sides hold the base relations alongside the
+	// extents (every strategy but inverse-rules, which serves extents
+	// only).
+	servesBase bool
+
+	updateMu sync.Mutex
+	sides    [2]*storage.Database
+	locks    [2]sync.RWMutex
+	active   atomic.Int32
 }
 
 // flight is one in-progress plan construction other callers can wait on.
@@ -257,6 +314,9 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 	}
 	if opt.CacheSize <= 0 {
 		opt.CacheSize = 128
+	}
+	if opt.LiveUpdates {
+		return nil, errors.New("engine: live updates require NewFromBase (extents are maintained from the base relations)")
 	}
 	if db == nil {
 		db = storage.NewDatabase()
@@ -288,6 +348,9 @@ func NewFromBase(base *storage.Database, views []*cq.Query, opt Options) (*Engin
 	if err != nil {
 		return nil, err
 	}
+	if opt.LiveUpdates {
+		return newLive(vs, base, views, opt)
+	}
 	var db *storage.Database
 	if opt.Strategy == InverseRules {
 		db, err = datalog.MaterializeViews(base, views)
@@ -305,11 +368,165 @@ func NewFromBase(base *storage.Database, views []*cq.Query, opt Options) (*Engin
 	return New(vs, db, opt)
 }
 
+// newLive builds the live-update engine: one incremental maintainer plus
+// two serving copies of its database (left-right), all materialised from
+// base exactly once.
+func newLive(vs *core.ViewSet, base *storage.Database, views []*cq.Query, opt Options) (*Engine, error) {
+	workers := opt.EvalWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	m, err := ivm.New(base, views, ivm.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	var side0 *storage.Database
+	if opt.Strategy == InverseRules {
+		// Inverse rules reconstruct the base from the extents; serving the
+		// base relations too would answer more than the views expose.
+		side0 = storage.NewDatabase()
+		for _, v := range views {
+			src := m.Database().Relation(v.Name())
+			rel, err := side0.Ensure(v.Name(), src.Arity())
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range src.Tuples() {
+				rel.Insert(t)
+			}
+		}
+	} else {
+		side0 = m.Database().Clone()
+	}
+	inner := opt
+	inner.LiveUpdates = false
+	e, err := New(vs, side0, inner) // indexes side0
+	if err != nil {
+		return nil, err
+	}
+	e.opt.LiveUpdates = true
+	side1 := side0.Clone()
+	side1.BuildIndexes()
+	e.live = &liveState{maint: m, servesBase: opt.Strategy != InverseRules}
+	e.live.sides[0] = side0
+	e.live.sides[1] = side1
+	return e, nil
+}
+
 // Views returns the engine's view set.
 func (e *Engine) Views() *core.ViewSet { return e.views }
 
-// Database returns the frozen database the engine evaluates over.
-func (e *Engine) Database() *storage.Database { return e.db }
+// Database returns the database the engine evaluates over. For a live
+// engine this is the currently active serving snapshot: do not mutate it,
+// and do not read it concurrently with ApplyBatch — use Answer, which
+// locks a snapshot, for concurrent reads.
+func (e *Engine) Database() *storage.Database {
+	if e.live != nil {
+		return e.live.sides[e.live.active.Load()]
+	}
+	return e.db
+}
+
+// snapshot returns the database an evaluation should read and a release
+// function, nil when no release is needed. Live engines pin the active
+// side under its read lock: the update path only mutates a side under the
+// corresponding write lock, so the pinned side is torn-free for the whole
+// evaluation.
+func (e *Engine) snapshot() (*storage.Database, func()) {
+	if e.live == nil {
+		return e.db, nil
+	}
+	i := e.live.active.Load()
+	e.live.locks[i].RLock()
+	return e.live.sides[i], e.live.locks[i].RUnlock
+}
+
+// Insert applies one base fact, delta-maintaining every extent.
+func (e *Engine) Insert(pred string, t storage.Tuple) error {
+	return e.ApplyBatch(map[string][]storage.Tuple{pred: {t}})
+}
+
+// InsertBatch applies a batch of base facts under one predicate,
+// delta-maintaining every extent in a single propagation.
+func (e *Engine) InsertBatch(pred string, tuples []storage.Tuple) error {
+	return e.ApplyBatch(map[string][]storage.Tuple{pred: tuples})
+}
+
+// ApplyBatch applies base-fact inserts across any number of predicates and
+// delta-maintains every view extent — one semi-naive propagation per batch
+// instead of a full re-materialization. Batches from concurrent callers
+// are serialized; answers keep flowing from the active serving snapshot
+// throughout, and every cached plan stays valid (rewritings depend only on
+// the view definitions). Inserting into a view predicate is an error, as
+// is calling this on an engine built without Options.LiveUpdates.
+func (e *Engine) ApplyBatch(updates map[string][]storage.Tuple) error {
+	if e.live == nil {
+		return ErrNotLive
+	}
+	l := e.live
+	l.updateMu.Lock()
+	defer l.updateMu.Unlock()
+	start := time.Now()
+	res, err := l.maint.ApplyBatch(updates)
+	if err != nil {
+		return err
+	}
+	// Publish: append the deltas to the inactive side, make it active,
+	// then bring the formerly active side up to date once its readers
+	// drain. Each side only ever mutates under its write lock.
+	i := 1 - l.active.Load()
+	if err := l.applySide(i, res); err != nil {
+		return err
+	}
+	l.active.Store(i)
+	if err := l.applySide(1-i, res); err != nil {
+		return err
+	}
+	baseNew := 0
+	for _, tuples := range res.BaseInserted {
+		baseNew += len(tuples)
+	}
+	e.updBatches.Add(1)
+	e.updTuples.Add(uint64(baseNew))
+	e.updDerived.Add(uint64(res.Stats.Derived))
+	e.maintainTime.Add(int64(time.Since(start)))
+	return nil
+}
+
+// applySide appends one batch's base and extent deltas to serving side i.
+func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
+	l.locks[i].Lock()
+	defer l.locks[i].Unlock()
+	db := l.sides[i]
+	if l.servesBase {
+		if err := appendDelta(db, res.BaseInserted); err != nil {
+			return err
+		}
+	}
+	return appendDelta(db, res.ExtentDelta)
+}
+
+// appendDelta inserts delta tuples, creating (and freezing) relations for
+// predicates the side has not seen; inserts into frozen relations maintain
+// the column indexes incrementally.
+func appendDelta(db *storage.Database, delta map[string][]storage.Tuple) error {
+	for pred, tuples := range delta {
+		if len(tuples) == 0 {
+			continue
+		}
+		rel, err := db.Ensure(pred, len(tuples[0]))
+		if err != nil {
+			return err // unreachable: the maintainer validated arities
+		}
+		for _, t := range tuples {
+			rel.Insert(t)
+		}
+		if !rel.Frozen() {
+			rel.BuildIndexes()
+		}
+	}
+	return nil
+}
 
 // Plan returns the cached rewriting plan for q, building it on first use.
 // Concurrent calls with the same fingerprint trigger exactly one search.
@@ -403,12 +620,19 @@ func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
 
 // Eval evaluates a plan over the engine's database. Rewriting plans run
 // through their compiled physical form, and inverse-rules plans through the
-// compiled semi-naive fixpoint, with the configured EvalWorkers fan-out;
-// the database was frozen at construction, so any number of evaluations may
-// run concurrently. Answers are sorted for deterministic output.
+// compiled semi-naive fixpoint, with the configured EvalWorkers fan-out.
+// Any number of evaluations may run concurrently: the database is frozen
+// at construction, and on a live engine each evaluation pins one serving
+// snapshot, so it sees either the pre- or post-state of any concurrent
+// update batch, never a torn mix. Answers are sorted for deterministic
+// output.
 func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
 	start := time.Now()
-	answers, err := e.evalPlan(p)
+	db, release := e.snapshot()
+	answers, err := e.evalPlan(db, p)
+	if release != nil {
+		release()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -417,7 +641,7 @@ func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
 	return answers, nil
 }
 
-func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
+func (e *Engine) evalPlan(db *storage.Database, p *Plan) ([]storage.Tuple, error) {
 	workers := e.opt.EvalWorkers
 	if workers <= 0 {
 		workers = 1
@@ -425,17 +649,17 @@ func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
 	switch p.Kind {
 	case PlanEquivalent:
 		if p.Compiled == nil { // plan built outside the engine
-			return datalog.EvalQuery(e.db, p.Rewriting.Query), nil
+			return datalog.EvalQuery(db, p.Rewriting.Query), nil
 		}
-		return p.Compiled.EvalParallel(e.db, workers), nil
+		return p.Compiled.EvalParallel(db, workers), nil
 	case PlanMaxContained:
 		if p.CompiledUnion == nil {
-			return datalog.EvalUnion(e.db, p.Union), nil
+			return datalog.EvalUnion(db, p.Union), nil
 		}
 		var out []storage.Tuple
 		seen := make(map[string]bool)
 		for _, cp := range p.CompiledUnion {
-			for _, t := range cp.EvalParallelUnsorted(e.db, workers) {
+			for _, t := range cp.EvalParallelUnsorted(db, workers) {
 				if k := t.Key(); !seen[k] {
 					seen[k] = true
 					out = append(out, t)
@@ -446,7 +670,7 @@ func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
 	case PlanInverseProgram:
 		var derived []storage.Tuple
 		if p.CompiledProgram != nil {
-			tuples, fst, err := p.CompiledProgram.EvalRelation(e.db, p.AnswerPred, workers)
+			tuples, fst, err := p.CompiledProgram.EvalRelation(db, p.AnswerPred, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -455,7 +679,7 @@ func (e *Engine) evalPlan(p *Plan) ([]storage.Tuple, error) {
 			e.fixpointDrvd.Add(uint64(fst.Derived))
 			derived = tuples
 		} else { // plan built outside the engine
-			out, err := p.Program.Eval(e.db)
+			out, err := p.Program.Eval(db)
 			if err != nil {
 				return nil, err
 			}
@@ -488,6 +712,10 @@ func (e *Engine) Stats() Stats {
 		FixpointRuns:       e.fixpointRuns.Load(),
 		FixpointIterations: e.fixpointIters.Load(),
 		FixpointDerived:    e.fixpointDrvd.Load(),
+		UpdateBatches:      e.updBatches.Load(),
+		UpdateTuples:       e.updTuples.Load(),
+		DeltaDerived:       e.updDerived.Load(),
+		MaintainTime:       time.Duration(e.maintainTime.Load()),
 		PerStrategy:        make(map[Strategy]StrategyStats, len(e.perStrategy)),
 	}
 	for s, agg := range e.perStrategy {

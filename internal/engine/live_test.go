@@ -1,0 +1,335 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestLiveEngineBasics: inserts flow into the extents, answers update,
+// cached plans survive (the second Answer is a cache hit, not a re-plan),
+// and the update counters surface in Stats.
+func TestLiveEngineBasics(t *testing.T) {
+	base, views := testBase(t)
+	e, err := NewFromBase(base, views, Options{LiveUpdates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	before, err := e.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 2 {
+		t.Fatalf("initial answers = %v", before)
+	}
+
+	// r(c,n) joins the existing s(n,y).
+	if err := e.Insert("r", storage.Tuple{"c", "n"}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 3 {
+		t.Fatalf("post-insert answers = %v, want 3", after)
+	}
+	// The new answer came through the maintained v extent.
+	if !e.Database().Relation("v").Contains(storage.Tuple{"c", "y"}) {
+		t.Fatal("extent v not maintained")
+	}
+
+	// A multi-predicate batch whose join halves arrive together.
+	err = e.ApplyBatch(map[string][]storage.Tuple{
+		"r": {{"d", "o"}},
+		"s": {{"o", "z"}, {"n", "y"}}, // second tuple is a duplicate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 4 {
+		t.Fatalf("final answers = %v, want 4", final)
+	}
+
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1 — plans must survive updates", st.Hits, st.Misses)
+	}
+	if st.UpdateBatches != 2 {
+		t.Fatalf("UpdateBatches = %d, want 2", st.UpdateBatches)
+	}
+	if st.UpdateTuples != 3 { // r(c,n), r(d,o), s(o,z); the duplicate does not count
+		t.Fatalf("UpdateTuples = %d, want 3", st.UpdateTuples)
+	}
+	if st.DeltaDerived == 0 {
+		t.Fatalf("DeltaDerived = 0, want maintained extent tuples")
+	}
+	if st.MaintainTime <= 0 {
+		t.Fatalf("MaintainTime = %v", st.MaintainTime)
+	}
+
+	// Inserting into a view extent is rejected.
+	if err := e.Insert("v", storage.Tuple{"x", "y"}); err == nil {
+		t.Fatal("insert into view extent accepted")
+	}
+}
+
+// TestLiveEngineAllStrategies: after a stream of batches, every strategy's
+// live engine answers exactly like an engine rebuilt from the accumulated
+// base.
+func TestLiveEngineAllStrategies(t *testing.T) {
+	base, views := testBase(t)
+	q := cq.MustParseQuery("q(X,Y) :- r(X,Z), s(Z,Y)")
+	batches := []map[string][]storage.Tuple{
+		{"r": {{"c", "n"}, {"c", "m"}}},
+		{"s": {{"m", "w"}}, "t": {{"n"}}},
+		{"r": {{"e", "p"}}, "s": {{"p", "u"}}},
+	}
+	for _, strat := range Strategies() {
+		live, err := NewFromBase(base, views, Options{Strategy: strat, LiveUpdates: true})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		shadow := base.Clone()
+		for bi, batch := range batches {
+			if err := live.ApplyBatch(batch); err != nil {
+				t.Fatalf("%s batch %d: %v", strat, bi, err)
+			}
+			for pred, tuples := range batch {
+				for _, tup := range tuples {
+					if err := shadow.Insert(pred, tup); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fresh, err := NewFromBase(shadow, views, Options{Strategy: strat})
+			if err != nil {
+				t.Fatalf("%s batch %d: rebuild: %v", strat, bi, err)
+			}
+			got, err := live.Answer(q)
+			if err != nil {
+				t.Fatalf("%s batch %d: live answer: %v", strat, bi, err)
+			}
+			want, err := fresh.Answer(q)
+			if err != nil {
+				t.Fatalf("%s batch %d: fresh answer: %v", strat, bi, err)
+			}
+			if !storage.TuplesEqual(got, want) {
+				t.Fatalf("%s batch %d: live %v, rebuilt %v", strat, bi, got, want)
+			}
+		}
+		if strat == InverseRules {
+			if live.Database().Relation("r") != nil {
+				t.Fatal("live inverse-rules engine must not serve base relations")
+			}
+		}
+	}
+}
+
+func TestLiveEngineErrors(t *testing.T) {
+	base, views := testBase(t)
+	static, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := static.Insert("r", storage.Tuple{"z", "z"}); err != ErrNotLive {
+		t.Fatalf("static insert err = %v, want ErrNotLive", err)
+	}
+	vs := static.Views()
+	if _, err := New(vs, nil, Options{LiveUpdates: true}); err == nil {
+		t.Fatal("New with LiveUpdates accepted (needs NewFromBase)")
+	}
+	live, err := NewFromBase(base, views, Options{LiveUpdates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arity mismatch leaves everything unchanged.
+	if err := live.InsertBatch("r", []storage.Tuple{{"only-one"}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if got, _ := live.Answer(cq.MustParseQuery("q3(X,Y) :- r(X,Y)")); len(got) != 2 {
+		t.Fatalf("failed batch changed answers: %v", got)
+	}
+}
+
+// TestLiveEngineDifferential drives randomized update streams interleaved
+// with queries through live engines and cross-checks every answer against
+// an engine rebuilt from scratch on the accumulated base.
+func TestLiveEngineDifferential(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(0x11FE))
+	const chainLen = 3
+	q := workload.ChainQuery(chainLen, true)
+	strategies := Strategies()
+	for trial := 0; trial < trials; trial++ {
+		base := workload.ChainDatabase(rng, chainLen, true, 30+rng.Intn(60), 25)
+		views := workload.ChainViews(rng, chainLen, true, workload.DefaultViewSpec(3+rng.Intn(3)))
+		strat := strategies[trial%len(strategies)]
+		live, err := NewFromBase(base, views, Options{
+			Strategy:    strat,
+			LiveUpdates: true,
+			EvalWorkers: 1 + rng.Intn(3),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, strat, err)
+		}
+		shadow := base.Clone()
+		for batch := 0; batch < 1+rng.Intn(4); batch++ {
+			upd := make(map[string][]storage.Tuple)
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				pred := fmt.Sprintf("p%d", 1+rng.Intn(chainLen))
+				tup := storage.Tuple{fmt.Sprintf("c%d", rng.Intn(25)), fmt.Sprintf("c%d", rng.Intn(25))}
+				upd[pred] = append(upd[pred], tup)
+				shadow.Insert(pred, tup)
+			}
+			if err := live.ApplyBatch(upd); err != nil {
+				t.Fatalf("trial %d (%s) batch %d: %v", trial, strat, batch, err)
+			}
+			fresh, err := NewFromBase(shadow, views, Options{Strategy: strat})
+			if err != nil {
+				t.Fatalf("trial %d (%s) batch %d: rebuild: %v", trial, strat, batch, err)
+			}
+			got, err := live.Answer(q)
+			if err != nil {
+				t.Fatalf("trial %d (%s) batch %d: live: %v", trial, strat, batch, err)
+			}
+			want, err := fresh.Answer(q)
+			if err != nil {
+				t.Fatalf("trial %d (%s) batch %d: fresh: %v", trial, strat, batch, err)
+			}
+			if !storage.TuplesEqual(got, want) {
+				t.Fatalf("trial %d (%s) batch %d: live answers diverge from rebuilt engine\n  live:  %v\n  fresh: %v",
+					trial, strat, batch, got, want)
+			}
+			// Extents themselves must match a full re-materialization.
+			for _, v := range views {
+				lr, fr := live.Database().Relation(v.Name()), fresh.Database().Relation(v.Name())
+				if !storage.TuplesEqual(lr.Tuples(), fr.Tuples()) {
+					t.Fatalf("trial %d (%s) batch %d: extent %s diverges", trial, strat, batch, v.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestLiveEngineSnapshotRace runs concurrent Answer calls (EvalWorkers=4)
+// against a stream of InsertBatch updates. The query is disconnected —
+// its answer is the cross product of two separately updated relations —
+// so a torn read (one relation pre-batch, the other post-batch) would
+// produce an answer set matching no consistent state. Run under -race in
+// CI, this also checks the snapshot locking itself.
+func TestLiveEngineSnapshotRace(t *testing.T) {
+	base := storage.NewDatabase()
+	base.Insert("r", storage.Tuple{"x0", "k"})
+	base.Insert("s", storage.Tuple{"k", "y0"})
+	views, err := cq.ParseViews(`
+		vr(A,B) :- r(A,B).
+		vs(A,B) :- s(A,B).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer = π_X(r) × π_Y(s): each batch grows both factors together.
+	q := cq.MustParseQuery("q(X,Y) :- r(X,U), s(W,Y)")
+
+	const nBatches = 6
+	// Legal answer sets: state k is {x0..xk} × {y0..yk}.
+	states := make([]map[string]bool, nBatches+1)
+	for k := 0; k <= nBatches; k++ {
+		states[k] = make(map[string]bool)
+		for i := 0; i <= k; i++ {
+			for j := 0; j <= k; j++ {
+				states[k][storage.Tuple{fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", j)}.Key()] = true
+			}
+		}
+	}
+	matchesState := func(answers []storage.Tuple) int {
+		for k, st := range states {
+			if len(answers) != len(st) {
+				continue
+			}
+			ok := true
+			for _, a := range answers {
+				if !st[a.Key()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return k
+			}
+		}
+		return -1
+	}
+
+	for _, strat := range []Strategy{EquivalentFirst, InverseRules} {
+		e, err := NewFromBase(base, views, Options{Strategy: strat, LiveUpdates: true, EvalWorkers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		// Warm the plan cache before the writers start.
+		if ans, err := e.Answer(q); err != nil || matchesState(ans) != 0 {
+			t.Fatalf("%s: initial answer %v (err %v)", strat, ans, err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					got, err := e.Answer(q)
+					if err != nil {
+						t.Errorf("%s reader %d: %v", strat, g, err)
+						return
+					}
+					if matchesState(got) < 0 {
+						t.Errorf("%s reader %d: torn answer set (%d tuples): %v", strat, g, len(got), got)
+						return
+					}
+				}
+			}(g)
+		}
+		for k := 1; k <= nBatches; k++ {
+			err := e.ApplyBatch(map[string][]storage.Tuple{
+				"r": {{fmt.Sprintf("x%d", k), "k"}},
+				"s": {{"k", fmt.Sprintf("y%d", k)}},
+			})
+			if err != nil {
+				t.Errorf("%s batch %d: %v", strat, k, err)
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		// After the stream drains, readers must see exactly the final state.
+		final, err := e.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchesState(final) != nBatches {
+			t.Fatalf("%s: final state %v, want state %d", strat, final, nBatches)
+		}
+	}
+}

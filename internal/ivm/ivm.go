@@ -1,0 +1,159 @@
+// Package ivm incrementally maintains materialized view extents under
+// base-fact inserts. A Maintainer owns a private database holding the base
+// relations and every view extent; each view definition is compiled once
+// into per-EDB-occurrence delta plans (datalog.CompileProgramIVM), and an
+// update batch runs one semi-naive propagation round per affected
+// occurrence instead of re-materializing any extent — work is proportional
+// to the consequences of the batch, not to the size of the database.
+//
+// The Maintainer is the engine's mutation path: Engine.InsertBatch applies
+// a batch here, then forwards the returned base and extent deltas to its
+// serving snapshots. It is equally usable standalone for applications that
+// keep extents fresh without the serving layer.
+//
+// A Maintainer is single-writer: calls to ApplyBatch must be serialized by
+// the caller (the engine holds an update mutex). Reads of the maintained
+// database may not overlap an ApplyBatch call.
+package ivm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// Options configures a Maintainer.
+type Options struct {
+	// Workers fans each propagation round's delta-plan executions across
+	// goroutines; 0 or 1 propagates sequentially.
+	Workers int
+}
+
+// Maintainer delta-maintains the extents of a view set over a base
+// database.
+type Maintainer struct {
+	views     []*cq.Query
+	viewNames map[string]bool
+	cp        *datalog.CompiledProgram
+	db        *storage.Database // base relations + maintained extents
+	opt       Options
+
+	batches      uint64
+	baseInserted uint64
+	derived      uint64
+	rounds       uint64
+	maintainTime time.Duration
+}
+
+// BatchResult reports one applied update batch.
+type BatchResult struct {
+	// BaseInserted maps each base predicate to the tuples that were
+	// actually new; duplicates of existing facts are dropped.
+	BaseInserted map[string][]storage.Tuple
+	// ExtentDelta maps each view to the extent tuples the propagation
+	// derived.
+	ExtentDelta map[string][]storage.Tuple
+	// Stats reports the propagation rounds and derived-tuple count.
+	Stats datalog.FixpointStats
+	// Duration is the wall time of the batch: inserts plus propagation.
+	Duration time.Duration
+}
+
+// Stats aggregates a Maintainer's lifetime work.
+type Stats struct {
+	// Batches is the number of ApplyBatch calls that succeeded.
+	Batches uint64
+	// BaseInserted counts base tuples that were new across all batches.
+	BaseInserted uint64
+	// ExtentDerived counts extent tuples derived across all batches.
+	ExtentDerived uint64
+	// Rounds counts propagation rounds across all batches.
+	Rounds uint64
+	// MaintainTime is the cumulative wall time spent applying batches.
+	MaintainTime time.Duration
+}
+
+// New builds a Maintainer: it materializes every view over base once (the
+// last full evaluation the system ever pays for these views) and freezes
+// the result for indexed delta propagation. base is not retained or
+// mutated.
+func New(base *storage.Database, views []*cq.Query, opt Options) (*Maintainer, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("ivm: empty view set")
+	}
+	prog := &datalog.Program{}
+	names := make(map[string]bool, len(views))
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("ivm: view %s: %w", v.Name(), err)
+		}
+		names[v.Name()] = true
+		prog.Rules = append(prog.Rules, datalog.RuleFromQuery(v))
+	}
+	if base == nil {
+		base = storage.NewDatabase()
+	}
+	cp, err := datalog.CompileProgramIVM(prog, cost.NewCatalog(base))
+	if err != nil {
+		return nil, fmt.Errorf("ivm: %w", err)
+	}
+	db, err := cp.Eval(base)
+	if err != nil {
+		return nil, fmt.Errorf("ivm: materialize: %w", err)
+	}
+	db.BuildIndexes()
+	return &Maintainer{views: views, viewNames: names, cp: cp, db: db, opt: opt}, nil
+}
+
+// Views returns the maintained view definitions.
+func (m *Maintainer) Views() []*cq.Query { return m.views }
+
+// IsView reports whether pred names a maintained view extent.
+func (m *Maintainer) IsView(pred string) bool { return m.viewNames[pred] }
+
+// Database returns the maintained database: base relations plus every view
+// extent, frozen, with indexes maintained across batches. It is the live
+// maintenance state — callers must not mutate it, and must not read it
+// concurrently with ApplyBatch.
+func (m *Maintainer) Database() *storage.Database { return m.db }
+
+// ApplyBatch inserts base facts — across any number of predicates — and
+// delta-maintains every extent. Inserts into view predicates are rejected,
+// and the batch is validated before anything is mutated. Tuples already
+// present count as duplicates and propagate nothing.
+func (m *Maintainer) ApplyBatch(updates map[string][]storage.Tuple) (*BatchResult, error) {
+	start := time.Now()
+	fresh, derived, stats, err := m.cp.ApplyInserts(m.db, updates, m.opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("ivm: %w", err)
+	}
+	res := &BatchResult{
+		BaseInserted: fresh,
+		ExtentDelta:  derived,
+		Stats:        stats,
+		Duration:     time.Since(start),
+	}
+	m.batches++
+	for _, tuples := range fresh {
+		m.baseInserted += uint64(len(tuples))
+	}
+	m.derived += uint64(stats.Derived)
+	m.rounds += uint64(stats.Iterations)
+	m.maintainTime += res.Duration
+	return res, nil
+}
+
+// Stats snapshots the maintainer's lifetime counters.
+func (m *Maintainer) Stats() Stats {
+	return Stats{
+		Batches:       m.batches,
+		BaseInserted:  m.baseInserted,
+		ExtentDerived: m.derived,
+		Rounds:        m.rounds,
+		MaintainTime:  m.maintainTime,
+	}
+}

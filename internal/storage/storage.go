@@ -85,6 +85,14 @@ func (r *Relation) Len() int { return len(r.tuples) }
 
 // Insert adds a tuple, reporting whether it was new. It panics on an arity
 // mismatch — callers validate arity at the Database boundary.
+//
+// When the column indexes are current at the time of the insert (the
+// relation was frozen with BuildIndexes, or lazily indexed and not stale),
+// they are maintained incrementally: the new tuple's position is appended
+// to each built index in O(built columns) and the relation stays Frozen.
+// Only an insert over already-stale indexes leaves them invalidated. Like
+// every mutation this carries the single-writer requirement — the live
+// engine serializes inserts behind its update lock.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
@@ -94,13 +102,26 @@ func (r *Relation) Insert(t Tuple) bool {
 		return false
 	}
 	r.seen[k] = true
+	maintained := r.indexes != nil && r.indexed == r.version
+	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
 	r.version++
+	if maintained {
+		for col, idx := range r.indexes {
+			idx[t[col]] = append(idx[t[col]], pos)
+		}
+		r.indexed = r.version
+	}
 	return true
 }
 
 // Contains reports whether the relation holds the tuple.
 func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// ContainsKey reports whether the relation holds a tuple with the given
+// canonical key (Tuple.Key). Hot loops that already computed the key for
+// their own dedup avoid re-encoding the tuple.
+func (r *Relation) ContainsKey(k string) bool { return r.seen[k] }
 
 // Tuples returns the tuples in insertion order. The slice is shared; do not
 // modify.
@@ -110,7 +131,10 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // current version. After it returns — and as long as no further inserts
 // happen — Lookup never mutates the relation, so any number of goroutines
 // may read it concurrently. The serving engine calls this once at
-// construction to freeze its database for parallel evaluation.
+// construction to freeze its database for parallel evaluation. Inserts
+// after BuildIndexes maintain the indexes incrementally (see Insert), so
+// the relation stays frozen across live updates; an insert still mutates,
+// so updates and reads must be externally serialized.
 func (r *Relation) BuildIndexes() {
 	for col := 0; col < r.arity; col++ {
 		r.BuildColumnIndex(col)
@@ -141,7 +165,8 @@ func (r *Relation) BuildColumnIndex(col int) {
 
 // Frozen reports whether every column index is built at the current
 // version. A frozen relation is safe for concurrent readers: Lookup and
-// LookupPositions never mutate it until the next Insert.
+// LookupPositions never mutate it, and Insert maintains the indexes in
+// place, so a relation stays frozen across maintained inserts.
 func (r *Relation) Frozen() bool {
 	return r.indexes != nil && r.indexed == r.version && len(r.indexes) == r.arity
 }

@@ -183,3 +183,84 @@ func TestQuickInsertLookupConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInsertMaintainsFrozenIndexes is the live-update regression test: an
+// insert after BuildIndexes must append to the existing column indexes
+// instead of invalidating them (previously the version bump silently marked
+// every index stale, forcing a full O(n) per-column rebuild on the next
+// lookup), and the relation must stay Frozen across maintained inserts.
+func TestInsertMaintainsFrozenIndexes(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"b", "2"})
+	r.BuildIndexes()
+	if !r.Frozen() {
+		t.Fatal("not frozen after BuildIndexes")
+	}
+
+	if !r.Insert(Tuple{"a", "3"}) {
+		t.Fatal("insert not new")
+	}
+	if !r.Frozen() {
+		t.Fatal("maintained insert unfroze the relation")
+	}
+	// Both old and new tuples must be reachable through the maintained
+	// index, without any rebuild.
+	pos, ok := r.LookupPositions(0, "a")
+	if !ok || len(pos) != 2 {
+		t.Fatalf("LookupPositions(0,a) = %v, %v; want 2 positions", pos, ok)
+	}
+	if got := r.Lookup(1, "3"); len(got) != 1 || got[0][0] != "a" {
+		t.Fatalf("Lookup(1,3) = %v", got)
+	}
+	// Duplicate inserts must not disturb the indexes.
+	if r.Insert(Tuple{"a", "3"}) {
+		t.Fatal("duplicate reported new")
+	}
+	if pos, _ := r.LookupPositions(0, "a"); len(pos) != 2 {
+		t.Fatalf("duplicate insert changed index: %v", pos)
+	}
+}
+
+// TestInsertMaintainsPartialIndexes: a relation with only some columns
+// indexed (one-shot freeze paths build exactly the probed columns) keeps
+// those indexes fresh across inserts too, and building a further column
+// later starts from the complete tuple set.
+func TestInsertMaintainsPartialIndexes(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.BuildColumnIndex(0)
+	if r.Frozen() {
+		t.Fatal("partially indexed relation reported frozen")
+	}
+	r.Insert(Tuple{"b", "2"})
+	if pos, ok := r.LookupPositions(0, "b"); !ok || len(pos) != 1 {
+		t.Fatalf("maintained partial index lost the insert: %v, %v", pos, ok)
+	}
+	// Column 1 was never built; building it now must include every tuple.
+	r.BuildColumnIndex(1)
+	if pos, ok := r.LookupPositions(1, "1"); !ok || len(pos) != 1 {
+		t.Fatalf("late-built index incomplete: %v, %v", pos, ok)
+	}
+	if !r.Frozen() {
+		t.Fatal("all columns built, still not frozen")
+	}
+}
+
+// TestInsertUnindexedStaysUnindexed: inserts into a never-indexed relation
+// build nothing (maintenance only applies to already-built indexes), and a
+// later lazy build sees every tuple.
+func TestInsertUnindexedStaysUnindexed(t *testing.T) {
+	r := NewRelation("r", 1)
+	r.Insert(Tuple{"x"})
+	if _, ok := r.LookupPositions(0, "x"); ok {
+		t.Fatal("unindexed relation reported positions")
+	}
+	r.Insert(Tuple{"y"})
+	if r.Frozen() {
+		t.Fatal("insert froze an unindexed relation")
+	}
+	if got := r.Lookup(0, "y"); len(got) != 1 {
+		t.Fatalf("Lookup after lazy build = %v", got)
+	}
+}
