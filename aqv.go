@@ -15,11 +15,25 @@
 //
 // Applications that answer many queries over one view set should use the
 // serving engine instead of calling the algorithms directly: it caches
-// rewriting plans in a bounded LRU keyed by canonical query fingerprints,
-// coalesces concurrent identical requests, and is safe for parallel use:
+// rewriting plans in a bounded LRU keyed by query *templates* — the
+// canonical form with constants abstracted to placeholders — coalesces
+// concurrent identical requests, and is safe for parallel use:
 //
 //	eng, _ := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{})
-//	answers, _ := eng.Answer(q) // repeated/α-equivalent queries hit the plan cache
+//	answers, _ := eng.Answer(q) // α-equivalent and constant-varying queries hit the plan cache
+//
+// Point-lookup streams should prepare once and execute per binding:
+//
+//	pq, _ := eng.Prepare(aqv.MustParseQuery("q(Y) :- r(k0,Z), s(Z,Y)"))
+//	for _, key := range keys {
+//		answers, _ := pq.Exec(key) // one compiled plan, one index probe per call
+//	}
+//
+// Answer itself is a thin prepare-once-exec wrapper, so plain callers get
+// template caching for free. With EngineOptions.Strategy == StrategyAuto
+// the engine additionally picks the rewriting algorithm per template by
+// cost estimate, and with MaxResults > 1 it keeps the cheapest of several
+// equivalent rewritings instead of the first found.
 //
 // With EngineOptions.LiveUpdates the engine additionally accepts base-fact
 // inserts (Engine.Insert/InsertBatch/ApplyBatch), delta-maintaining every
@@ -85,7 +99,13 @@ var (
 	NewUnion = cq.NewUnion
 )
 
-// Canonical forms and fingerprints (see internal/cq).
+// Canonical forms, templates and fingerprints (see internal/cq).
+type (
+	// QueryTemplate is a canonical query with constants abstracted to
+	// ordered placeholders — the unit the engine caches plans per.
+	QueryTemplate = cq.Template
+)
+
 var (
 	// Canonicalize returns the canonical α-renamed, subgoal-sorted form.
 	Canonicalize = cq.Canonicalize
@@ -93,6 +113,12 @@ var (
 	CanonicalizeUnion = cq.CanonicalizeUnion
 	// Fingerprint returns a cache key shared by α-equivalent queries.
 	Fingerprint = cq.Fingerprint
+	// CanonicalizeTemplate abstracts a query's constants to placeholders
+	// and returns the canonical template plus the extracted binding.
+	CanonicalizeTemplate = cq.CanonicalizeTemplate
+	// TemplateFingerprint returns the template cache key of a query:
+	// shared across α-variants and constant instantiations alike.
+	TemplateFingerprint = cq.TemplateFingerprint
 )
 
 // Containment, equivalence and minimisation (see internal/containment).
@@ -195,6 +221,10 @@ var (
 	// CompileQuery lowers a conjunctive query to a reusable slot-based
 	// physical plan; see CompiledPlan.
 	CompileQuery = datalog.Compile
+	// CompileQueryParams is CompileQuery for a parameterized plan: the
+	// named variables become parameter slots bound per execution
+	// (CompiledPlan.EvalWith), so one plan serves every constant binding.
+	CompileQueryParams = datalog.CompileParams
 	// MaterializeViews evaluates views over a base database into a
 	// view-extent database.
 	MaterializeViews = datalog.MaterializeViews
@@ -304,8 +334,11 @@ type (
 	EngineOptions = engine.Options
 	// EngineStats is a snapshot of engine counters.
 	EngineStats = engine.Stats
-	// EnginePlan is a cached rewriting plan.
+	// EnginePlan is a cached rewriting plan for one query template.
 	EnginePlan = engine.Plan
+	// PreparedQuery is the handle Engine.Prepare returns: a cached
+	// template plan executable under any constant binding (Exec).
+	PreparedQuery = engine.PreparedQuery
 	// Strategy selects the rewriting algorithm an Engine plans with.
 	Strategy = engine.Strategy
 	// StrategyStats aggregates planning work per strategy.
@@ -324,6 +357,10 @@ const (
 	StrategyMiniCon = engine.MiniCon
 	// StrategyInverseRules compiles an inverse-rules program.
 	StrategyInverseRules = engine.InverseRules
+	// StrategyAuto picks the algorithm per query template by cost
+	// estimate, recording the choice in EnginePlan.Chosen and
+	// EngineStats.PerStrategy.
+	StrategyAuto = engine.Auto
 )
 
 var (
@@ -356,8 +393,14 @@ var (
 	NewRowCatalog = cost.NewRowCatalog
 	// EstimateQuery costs a conjunctive query.
 	EstimateQuery = cost.EstimateQuery
+	// EstimateQueryWith costs a conjunctive query with the named variables
+	// treated as pre-bound parameters.
+	EstimateQueryWith = cost.EstimateQueryWith
 	// EstimateUnion costs a union of conjunctive queries.
 	EstimateUnion = cost.EstimateUnion
 	// ChoosePlan returns the cheapest candidate under the catalog.
 	ChoosePlan = cost.Choose
+	// ChoosePlanWith is ChoosePlan with pre-bound parameter variables —
+	// the decision procedure for parameterized plan candidates.
+	ChoosePlanWith = cost.ChooseWith
 )

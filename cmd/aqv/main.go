@@ -3,21 +3,30 @@
 //
 // Usage:
 //
-//	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse]
+//	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse|auto]
 //	    [-data facts.dl] [-all] [-partial] [-stats]
 //	aqv -queries stream.dl -views views.dl [-data facts.dl] [-algo ...]
-//	    [-cache N] [-stats]
+//	    [-cache N] [-prepare] [-stats]
 //	aqv -stream mixed.dl -views views.dl [-data facts.dl] [-algo ...] [-stats]
 //
 // The query file holds one rule; the views file holds one rule per view.
 // The optional data file holds ground facts for the *base* relations; view
 // extents are materialised from it before evaluation.
 //
+// -algo auto plans through the serving engine's cost-driven strategy: per
+// query it searches for the cheapest equivalent rewriting and otherwise
+// picks MiniCon or inverse rules by cost estimate over the data's catalog,
+// reporting which algorithm was chosen.
+//
 // Batch/serve mode (-queries) answers a stream of query rules — one rule
-// per query, "-" reads stdin — through a single plan-caching engine:
-// repeated or α-equivalent queries in the stream are planned once and
-// served from the cache. With -stats the engine's hit/miss/coalescing
-// counters are printed after the stream.
+// per query, "-" reads stdin — through a single plan-caching engine. Plans
+// are cached per query *template* (constants abstracted to placeholders),
+// so not only repeated or α-equivalent queries but whole point-lookup
+// streams differing only in their constants are planned once and served
+// from the cache. With -prepare each query additionally reports its
+// prepared form: parameter count, chosen strategy and cost estimate. With
+// -stats the engine's hit/miss/coalescing counters are printed after the
+// stream.
 //
 // Update-stream mode (-stream) serves a live workload that interleaves
 // base-fact inserts with queries, one statement per line ("-" reads
@@ -64,9 +73,10 @@ func run(args []string, out *os.File) error {
 	streamPath := fs.String("stream", "", "live mode: file interleaving ground facts (inserts) and query rules ('-' = stdin), served by one live engine that delta-maintains the view extents")
 	viewsPath := fs.String("views", "", "file containing view definitions")
 	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
-	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse")
+	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse, auto (cost-driven per query)")
 	all := fs.Bool("all", false, "enumerate all equivalent rewritings (equivalent only)")
 	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms")
+	prepare := fs.Bool("prepare", false, "batch mode: report each query's prepared form (template parameters, chosen strategy, cost estimate)")
 	stats := fs.Bool("stats", false, "print search statistics (engine cache counters in batch mode)")
 	explain := fs.Bool("explain", false, "print the compiled execution plan (equivalent: the chosen rewriting, needs -data; inverse: the compiled program)")
 	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
@@ -111,7 +121,7 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	if *queriesPath != "" {
-		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
+		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *partial, *prepare, *stats)
 	}
 	if *streamPath != "" {
 		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
@@ -125,6 +135,8 @@ func run(args []string, out *os.File) error {
 	switch *algo {
 	case "equivalent":
 		return runEquivalent(out, q, views, vs, base, *all, *partial, *stats, *explain)
+	case "auto":
+		return runAuto(out, q, views, base, *partial, *stats, *explain)
 	case "bucket":
 		u, st, err := aqv.BucketRewrite(q, vs, aqv.BucketOptions{KeepComparisons: true})
 		if err != nil {
@@ -239,10 +251,78 @@ func runEquivalent(out *os.File, q *aqv.Query, views []*aqv.Query, vs *aqv.ViewS
 	return nil
 }
 
-// runBatch answers a stream of query rules through one plan-caching engine.
-// Without -data only the plans are printed; with -data each query's answers
-// follow its plan.
-func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, stats bool) error {
+// runAuto answers one query through the engine's cost-driven strategy,
+// reporting which algorithm the cost model chose.
+func runAuto(out *os.File, q *aqv.Query, views []*aqv.Query, base *aqv.Database, partial, stats, explain bool) error {
+	hasData := base != nil
+	if base == nil {
+		base = aqv.NewDatabase()
+	}
+	eng, err := aqv.NewEngineFromBase(base, views, aqv.EngineOptions{
+		Strategy:        aqv.StrategyAuto,
+		AllowPartial:    partial,
+		KeepComparisons: true,
+	})
+	if err != nil {
+		return err
+	}
+	pq, err := eng.Prepare(q)
+	if err != nil {
+		return err
+	}
+	p := pq.Plan()
+	fmt.Fprintf(out, "%% auto chose %s (estimated cost %.0f)\n", p.Chosen, p.Estimate.Cost)
+	printPlan(out, p)
+	if explain {
+		switch {
+		case p.Compiled != nil:
+			fmt.Fprintf(out, "%% plan:\n%s", p.Compiled.Describe())
+		case p.CompiledUnion != nil:
+			for i, cp := range p.CompiledUnion {
+				fmt.Fprintf(out, "%% plan (member %d):\n%s", i+1, cp.Describe())
+			}
+		case p.CompiledProgram != nil:
+			fmt.Fprintf(out, "%% compiled program:\n%s", p.CompiledProgram.Describe())
+		}
+	}
+	if hasData {
+		answers, err := pq.Exec(pq.Args()...)
+		if err != nil {
+			return err
+		}
+		printAnswers(out, q.Name(), answers)
+	}
+	if stats {
+		st := eng.Stats()
+		fmt.Fprintf(out, "%% engine: compile_time=%v execs=%d exec_time=%v\n",
+			st.CompileTime, st.ExecCount, st.ExecTime)
+	}
+	return nil
+}
+
+// printPlan renders the payload of a cached plan, one line. Parameterized
+// plans are in planning form — the head carries the template placeholders
+// as trailing columns — so the placeholder set is spelled out alongside.
+func printPlan(out *os.File, p *aqv.EnginePlan) {
+	note := ""
+	if len(p.Params) > 0 {
+		note = fmt.Sprintf(", head carries params %v", p.Params)
+	}
+	switch {
+	case p.Rewriting != nil:
+		fmt.Fprintf(out, "%% plan (%s%s): %s\n", p.Kind, note, p.Rewriting.Query)
+	case p.Union != nil:
+		fmt.Fprintf(out, "%% plan (%s%s): %d member(s)\n", p.Kind, note, p.Union.Len())
+	case p.Program != nil:
+		fmt.Fprintf(out, "%% plan (%s%s): %d rule(s)\n", p.Kind, note, len(p.Program.Rules))
+	}
+}
+
+// runBatch answers a stream of query rules through one plan-caching engine,
+// preparing each query against the template cache and executing it under
+// its own constants. Without -data only the plans are printed; with -data
+// each query's answers follow its plan.
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, prepare, stats bool) error {
 	queries, err := loadQueries(path)
 	if err != nil {
 		return err
@@ -266,21 +346,19 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		return err
 	}
 	for i, q := range queries {
-		p, err := eng.Plan(q)
+		pq, err := eng.Prepare(q)
 		if err != nil {
 			return fmt.Errorf("query %d (%s): %w", i+1, q.Name(), err)
 		}
+		p := pq.Plan()
 		fmt.Fprintf(out, "%% [%d] %s\n", i+1, q)
-		switch {
-		case p.Rewriting != nil:
-			fmt.Fprintf(out, "%% plan (%s): %s\n", p.Kind, p.Rewriting.Query)
-		case p.Union != nil:
-			fmt.Fprintf(out, "%% plan (%s): %d member(s)\n", p.Kind, p.Union.Len())
-		case p.Program != nil:
-			fmt.Fprintf(out, "%% plan (%s): %d rule(s)\n", p.Kind, len(p.Program.Rules))
+		printPlan(out, p)
+		if prepare {
+			fmt.Fprintf(out, "%% prepared: params=%d args=%v chosen=%s est=%.0f template=%s\n",
+				pq.NumParams(), pq.Args(), p.Chosen, p.Estimate.Cost, p.Fingerprint)
 		}
 		if hasData {
-			answers, err := eng.Eval(p)
+			answers, err := pq.Exec(pq.Args()...)
 			if err != nil {
 				return err
 			}
@@ -299,7 +377,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		}
 		for _, s := range aqv.EngineStrategies() {
 			if agg, ok := st.PerStrategy[s]; ok {
-				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v\n", s, agg.Plans, agg.PlanTime)
+				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v hits=%d\n", s, agg.Plans, agg.PlanTime, agg.Hits)
 			}
 		}
 	}
@@ -390,12 +468,12 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 				return err
 			}
 			step++
-			p, err := eng.Plan(q)
+			pq, err := eng.Prepare(q)
 			if err != nil {
 				return fmt.Errorf("stream line %d (%s): %w", lineno+1, q.Name(), err)
 			}
 			fmt.Fprintf(out, "%% [%d] %s\n", step, q)
-			answers, err := eng.Eval(p)
+			answers, err := pq.Exec(pq.Args()...)
 			if err != nil {
 				return err
 			}

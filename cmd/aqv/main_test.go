@@ -135,6 +135,50 @@ func TestRunBatch(t *testing.T) {
 	}
 }
 
+// TestRunBatchPreparedTemplates: a stream of point lookups differing only
+// in constants is planned once; -prepare reports the shared template.
+func TestRunBatchPreparedTemplates(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). r(b,n). s(m,x). s(n,y).")
+	qf := writeFile(t, dir, "qs.dl", `
+		q(Y) :- r(a,Z), s(Z,Y).
+		q(Y) :- r(b,Z), s(Z,Y).
+		q(Y) :- r(c,Z), s(Z,Y).
+	`)
+	out := capture(t, []string{"-queries", qf, "-views", vf, "-data", df, "-prepare", "-stats"})
+	if !strings.Contains(out, "q(x).") || !strings.Contains(out, "q(y).") {
+		t.Fatalf("answers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "params=1 args=[a]") || !strings.Contains(out, "params=1 args=[c]") {
+		t.Fatalf("prepared report missing:\n%s", out)
+	}
+	// One template, three queries: 1 miss, 2 hits.
+	if !strings.Contains(out, "hits=2") || !strings.Contains(out, "misses=1") {
+		t.Fatalf("template cache stats wrong (want hits=2 misses=1):\n%s", out)
+	}
+}
+
+func TestRunAuto(t *testing.T) {
+	dir := t.TempDir()
+	qf := writeFile(t, dir, "q.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x).")
+	out := capture(t, []string{"-query", qf, "-views", vf, "-data", df, "-algo", "auto"})
+	if !strings.Contains(out, "auto chose equivalent-first") {
+		t.Fatalf("auto choice not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "q(a,x).") {
+		t.Fatalf("answers missing:\n%s", out)
+	}
+	// Batch mode accepts the strategy too.
+	qs := writeFile(t, dir, "qs.dl", "q(X,Y) :- r(X,Z), s(Z,Y).")
+	out = capture(t, []string{"-queries", qs, "-views", vf, "-data", df, "-algo", "auto", "-stats"})
+	if !strings.Contains(out, "strategy=equivalent-first plans=1") {
+		t.Fatalf("auto per-strategy attribution missing:\n%s", out)
+	}
+}
+
 func TestRunBatchPlansOnlyWithoutData(t *testing.T) {
 	dir := t.TempDir()
 	vf := writeFile(t, dir, "v.dl", "v1(A,B) :- r(A,B). v2(A) :- s(A).")

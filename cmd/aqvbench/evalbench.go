@@ -15,11 +15,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cq"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/inverserules"
 	"repro/internal/ivm"
+	"repro/internal/minicon"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -97,6 +100,35 @@ type IVMBenchResult struct {
 	Speedup float64 `json:"speedup_delta_vs_full"`
 }
 
+// PreparedBenchResult measures one varying-constant query stream through
+// the serving engine: per-query cost of planning from scratch (what every
+// distinct constant paid before template caching), of Answer (template
+// canonicalisation + cache hit + bound execution) and of prepared Exec
+// (bound execution only).
+type PreparedBenchResult struct {
+	Name     string `json:"name"`
+	Strategy string `json:"strategy"`
+	// Queries is the stream length; Tuples the serving database size.
+	Queries int `json:"queries"`
+	Tuples  int `json:"tuples"`
+	// ColdNsPerQuery plans, compiles and executes each query from scratch
+	// (rewriting search included) — the per-query cost of a cache miss.
+	ColdNsPerQuery float64 `json:"cold_ns_per_query"`
+	// AnswerNsPerQuery streams the queries through Engine.Answer: the
+	// whole stream shares one template plan.
+	AnswerNsPerQuery float64 `json:"answer_ns_per_query"`
+	// PreparedNsPerQuery streams the bindings through PreparedQuery.Exec.
+	PreparedNsPerQuery float64 `json:"prepared_ns_per_query"`
+	// CacheMisses/CacheHits witness the template sharing over one Answer
+	// pass of the stream (one miss, len-1 hits).
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheHits   uint64 `json:"cache_hits"`
+	// SpeedupPreparedVsCold is ColdNsPerQuery / PreparedNsPerQuery;
+	// SpeedupAnswerVsCold the same for the Answer route.
+	SpeedupPreparedVsCold float64 `json:"speedup_prepared_vs_cold"`
+	SpeedupAnswerVsCold   float64 `json:"speedup_answer_vs_cold"`
+}
+
 // EvalBenchReport is the top-level BENCH_eval.json document.
 type EvalBenchReport struct {
 	Command    string            `json:"command"`
@@ -108,6 +140,9 @@ type EvalBenchReport struct {
 	// IVM compares delta maintenance against full re-materialization at
 	// varying delta sizes (the live-engine update path).
 	IVM []IVMBenchResult `json:"ivm"`
+	// Prepared compares cold per-query planning, template-cached Answer
+	// and prepared Exec on varying-constant point-lookup streams.
+	Prepared []PreparedBenchResult `json:"prepared"`
 }
 
 type evalWorkload struct {
@@ -361,6 +396,9 @@ func runEvalBench(path string) error {
 	if err := runIVMBench(&report); err != nil {
 		return err
 	}
+	if err := runPreparedBench(&report); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -372,6 +410,153 @@ func runEvalBench(path string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runPreparedBench measures the prepared-query serving path on streams of
+// point lookups differing only in their constants: every query shares one
+// template, so the whole stream compiles exactly one plan. The cold column
+// re-runs the rewriting search and physical compilation per query — what
+// each distinct constant cost when plans were cached per fingerprint.
+func runPreparedBench(report *EvalBenchReport) error {
+	const streamLen = 1000
+	const reps = 3
+
+	rng := rand.New(rand.NewSource(81))
+	base := storage.NewDatabase()
+	for i := 0; i < 4000; i++ {
+		base.Insert("r", storage.Tuple{fmt.Sprintf("k%d", i), fmt.Sprintf("m%d", rng.Intn(200))})
+	}
+	for j := 0; j < 200; j++ {
+		base.Insert("s", storage.Tuple{fmt.Sprintf("m%d", j), fmt.Sprintf("x%d", j%17)})
+	}
+	joinViews, err := cq.ParseViews(`
+		v(A,B)  :- r(A,C), s(C,B).
+		vr(A,B) :- r(A,B).
+		vs(A,B) :- s(A,B).
+	`)
+	if err != nil {
+		return err
+	}
+	restricted, err := cq.ParseViews("v(A,B) :- r(A,C), s(C,B).")
+	if err != nil {
+		return err
+	}
+
+	cases := []struct {
+		name     string
+		strategy engine.Strategy
+		views    []*cq.Query
+	}{
+		// Full coverage: the point lookup rewrites to an equivalent view probe.
+		{"point_equivalent", engine.EquivalentFirst, joinViews},
+		// Join view only, MiniCon: the plan is a one-member MCR union.
+		{"point_minicon", engine.MiniCon, restricted},
+	}
+	for _, bench := range cases {
+		queries := make([]*cq.Query, streamLen)
+		args := make([]string, streamLen)
+		for i := range queries {
+			args[i] = fmt.Sprintf("k%d", i)
+			queries[i] = cq.MustParseQuery(fmt.Sprintf("q(Y) :- r(%s,Z), s(Z,Y)", args[i]))
+		}
+		eng, err := engine.NewFromBase(base, bench.views, engine.Options{Strategy: bench.strategy, KeepComparisons: true})
+		if err != nil {
+			return err
+		}
+		// One untimed Answer pass witnesses the template sharing.
+		for _, q := range queries {
+			if _, err := eng.Answer(q); err != nil {
+				return err
+			}
+		}
+		st := eng.Stats()
+		res := PreparedBenchResult{
+			Name:        bench.name,
+			Strategy:    string(bench.strategy),
+			Queries:     streamLen,
+			Tuples:      eng.Database().TotalTuples(),
+			CacheMisses: st.Misses,
+			CacheHits:   st.Hits,
+		}
+
+		answerNs, _, err := minNs(reps, func(int) error {
+			for _, q := range queries {
+				if _, err := eng.Answer(q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.AnswerNsPerQuery = answerNs / streamLen
+
+		pq, err := eng.Prepare(queries[0])
+		if err != nil {
+			return err
+		}
+		preparedNs, _, err := minNs(reps, func(int) error {
+			for _, a := range args {
+				if _, err := pq.Exec(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.PreparedNsPerQuery = preparedNs / streamLen
+
+		// Cold: rewriting search + physical compilation + execution per
+		// query, over a sample (the search dominates; no need for all
+		// 1000). Planning runs on the engine's own serving database.
+		vs, err := core.NewViewSet(bench.views...)
+		if err != nil {
+			return err
+		}
+		db := eng.Database()
+		cat := cost.NewCatalog(db)
+		const coldSample = 100
+		coldNs, _, err := minNs(2, func(int) error {
+			for i := 0; i < coldSample; i++ {
+				q := queries[i]
+				switch bench.strategy {
+				case engine.EquivalentFirst:
+					rw := core.NewRewriter(vs).RewriteOne(cq.Canonicalize(q))
+					if rw == nil {
+						return fmt.Errorf("%s: no rewriting for %s", bench.name, q)
+					}
+					datalog.Compile(rw.Query, cat).Eval(db)
+				case engine.MiniCon:
+					u, _, err := minicon.Rewrite(cq.Canonicalize(q), vs, minicon.Options{VerifyCandidates: true, KeepComparisons: true})
+					if err != nil {
+						return err
+					}
+					for _, m := range u.Queries {
+						datalog.Compile(m, cat).Eval(db)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		res.ColdNsPerQuery = coldNs / coldSample
+		if res.PreparedNsPerQuery > 0 {
+			res.SpeedupPreparedVsCold = res.ColdNsPerQuery / res.PreparedNsPerQuery
+		}
+		if res.AnswerNsPerQuery > 0 {
+			res.SpeedupAnswerVsCold = res.ColdNsPerQuery / res.AnswerNsPerQuery
+		}
+		fmt.Printf("%-18s misses=%d hits=%d cold=%.0fns answer=%.0fns prepared=%.0fns (%.1fx vs cold)\n",
+			res.Name, res.CacheMisses, res.CacheHits, res.ColdNsPerQuery,
+			res.AnswerNsPerQuery, res.PreparedNsPerQuery, res.SpeedupPreparedVsCold)
+		report.Prepared = append(report.Prepared, res)
+	}
+	return nil
 }
 
 // minNs times f reps times and returns the fastest run in nanoseconds

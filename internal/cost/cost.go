@@ -72,6 +72,22 @@ func (c *Catalog) SetRelation(pred string, rows float64, distinct []float64) {
 	c.distinct[pred] = distinct
 }
 
+// Clone returns an independent copy of the catalog, so what-if overrides
+// (SetRelation) never leak into a shared instance.
+func (c *Catalog) Clone() *Catalog {
+	n := &Catalog{
+		rows:     make(map[string]float64, len(c.rows)),
+		distinct: make(map[string][]float64, len(c.distinct)),
+	}
+	for pred, r := range c.rows {
+		n.rows[pred] = r
+	}
+	for pred, d := range c.distinct {
+		n.distinct[pred] = append([]float64(nil), d...)
+	}
+	return n
+}
+
 // Rows returns the cardinality of a relation (1 if unknown — a missing
 // relation joins like a singleton so unknown predicates do not dominate).
 func (c *Catalog) Rows(pred string) float64 {
@@ -110,10 +126,22 @@ type Estimate struct {
 
 // EstimateQuery costs a conjunctive query against the catalog.
 func EstimateQuery(c *Catalog, q *cq.Query) Estimate {
+	return EstimateQueryWith(c, q, nil)
+}
+
+// EstimateQueryWith is EstimateQuery with the listed variables treated as
+// bound before the first join step — the cost of a parameterized plan whose
+// parameter slots are filled at execution time. Bound columns filter by
+// their distinct counts exactly like constants, so point-lookup templates
+// cost like point lookups rather than full scans.
+func EstimateQueryWith(c *Catalog, q *cq.Query, boundVars []string) Estimate {
 	type state struct {
 		bound map[string]bool
 	}
-	st := state{bound: make(map[string]bool)}
+	st := state{bound: make(map[string]bool, len(boundVars))}
+	for _, v := range boundVars {
+		st.bound[v] = true
+	}
 	remaining := make([]int, 0, len(q.Body))
 	for i := range q.Body {
 		remaining = append(remaining, i)
@@ -171,9 +199,15 @@ func (c *Catalog) RowsSafe(pred string) float64 {
 
 // EstimateUnion costs a union as the sum of member costs.
 func EstimateUnion(c *Catalog, u *cq.Union) Estimate {
+	return EstimateUnionWith(c, u, nil)
+}
+
+// EstimateUnionWith is EstimateUnion with pre-bound variables (see
+// EstimateQueryWith).
+func EstimateUnionWith(c *Catalog, u *cq.Union, boundVars []string) Estimate {
 	var total Estimate
 	for _, m := range u.Queries {
-		e := EstimateQuery(c, m)
+		e := EstimateQueryWith(c, m, boundVars)
 		total.Cost += e.Cost
 		total.Cardinality += e.Cardinality
 	}
@@ -184,10 +218,17 @@ func EstimateUnion(c *Catalog, u *cq.Union) Estimate {
 // with all estimates. It is the decision procedure an optimiser would run
 // over the rewritings produced by the core engine.
 func Choose(c *Catalog, candidates []*cq.Query) (best int, estimates []Estimate) {
+	return ChooseWith(c, candidates, nil)
+}
+
+// ChooseWith is Choose with pre-bound variables (see EstimateQueryWith):
+// the decision procedure for parameterized plan candidates, whose parameter
+// slots are bound on every execution.
+func ChooseWith(c *Catalog, candidates []*cq.Query, boundVars []string) (best int, estimates []Estimate) {
 	best = -1
 	estimates = make([]Estimate, len(candidates))
 	for i, q := range candidates {
-		estimates[i] = EstimateQuery(c, q)
+		estimates[i] = EstimateQueryWith(c, q, boundVars)
 		if best == -1 || estimates[i].Cost < estimates[best].Cost {
 			best = i
 		}

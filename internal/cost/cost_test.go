@@ -94,6 +94,69 @@ func TestEstimateUnion(t *testing.T) {
 	}
 }
 
+func TestEstimateQueryWithBoundParams(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	q := mustQ("q(X) :- big(X,P)")
+	free := EstimateQuery(c, q)
+	bound := EstimateQueryWith(c, q, []string{"P"})
+	if bound.Cardinality >= free.Cardinality || bound.Cost >= free.Cost {
+		t.Fatalf("pre-bound parameter did not filter: bound=%+v free=%+v", bound, free)
+	}
+	// A bound parameter behaves like the equivalent constant selection.
+	asConst := EstimateQuery(c, mustQ("q(X) :- big(X,b3)"))
+	if bound.Cardinality != asConst.Cardinality {
+		t.Fatalf("bound param %v != constant %v", bound.Cardinality, asConst.Cardinality)
+	}
+}
+
+func TestEstimateQueryWithBoundDrivesJoinOrder(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	q := mustQ("q(Y) :- big(P,Y), small(Z)")
+	e := EstimateQueryWith(c, q, []string{"P"})
+	// With P bound, big has a bound column and must drive despite being the
+	// larger relation.
+	if e.Order[0] != 0 {
+		t.Fatalf("order = %v, want the parameter-bound atom first", e.Order)
+	}
+}
+
+func TestChooseWithBoundParams(t *testing.T) {
+	// v_wide is cheaper scanned cold, but with the parameter bound the
+	// highly selective v_sel wins: ChooseWith must flip the decision.
+	c := NewCatalog(storage.NewDatabase())
+	c.SetRelation("v_wide", 1000, []float64{2, 2})
+	c.SetRelation("v_sel", 2000, []float64{2000, 2000})
+	a := mustQ("q(X) :- v_wide(X,P)")
+	b := mustQ("q(X) :- v_sel(X,P)")
+	cold, _ := Choose(c, []*cq.Query{a, b})
+	warm, ests := ChooseWith(c, []*cq.Query{a, b}, []string{"P"})
+	if cold != 0 || warm != 1 {
+		t.Fatalf("cold=%d warm=%d (estimates %+v), want 0 then 1", cold, warm, ests)
+	}
+}
+
+func TestEstimateUnionWith(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	u := cq.NewUnion(mustQ("q(X) :- big(X,P)"), mustQ("q(X) :- small(X)"))
+	free := EstimateUnion(c, u)
+	bound := EstimateUnionWith(c, u, []string{"P"})
+	if bound.Cost >= free.Cost {
+		t.Fatalf("bound union cost %v, want below %v", bound.Cost, free.Cost)
+	}
+}
+
+func TestCatalogClone(t *testing.T) {
+	c := NewCatalog(sampleDB())
+	n := c.Clone()
+	n.SetRelation("big", 7, []float64{7, 7})
+	if c.Rows("big") != 100 || c.Distinct("big", 1) != 10 {
+		t.Fatalf("Clone leaked overrides into the original: rows=%v", c.Rows("big"))
+	}
+	if n.Rows("big") != 7 || n.Rows("small") != 5 {
+		t.Fatalf("clone stats wrong: big=%v small=%v", n.Rows("big"), n.Rows("small"))
+	}
+}
+
 func TestChooseEmpty(t *testing.T) {
 	c := NewCatalog(storage.NewDatabase())
 	best, ests := Choose(c, nil)

@@ -24,6 +24,15 @@ const canonBudget = 4096
 // Head argument positions are preserved — the canonical query is always
 // α-equivalent to the input, never merely isomorphic.
 func Canonicalize(q *Query) *Query {
+	qc, _ := canonicalizeRen(q)
+	return qc
+}
+
+// canonicalizeRen is Canonicalize plus the final renaming it applied: a map
+// from the input query's variable names to their canonical names. The
+// template machinery uses it to locate placeholder variables in the
+// canonical form.
+func canonicalizeRen(q *Query) (*Query, map[string]string) {
 	ren := make(map[string]string, 8)
 	next := 0
 	rename := func(t Term) Term {
@@ -74,7 +83,7 @@ func Canonicalize(q *Query) *Query {
 	}
 	sort.Slice(comps, func(i, j int) bool { return comps[i].String() < comps[j].String() })
 
-	return &Query{Head: head, Body: body, Comparisons: comps}
+	return &Query{Head: head, Body: body, Comparisons: comps}, ren
 }
 
 // CanonicalizeUnion canonicalises every member and sorts them by rendered

@@ -1,0 +1,178 @@
+package cq
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query templates. A template is the canonical form of a query with its
+// constants abstracted to placeholders, so that a stream of point lookups
+// differing only in the constants they select on — q(X) :- r(X,'a'),
+// q(X) :- r(X,'b'), ... — shares one template, and therefore one cached
+// plan. The placeholders are ordinary canonical variables; Template.Params
+// records which ones they are and Template.Args the source query's
+// constants in the same order, the binding that re-instantiates it.
+//
+// Abstraction rules:
+//
+//   - only constants that occur in at least one relational body atom are
+//     abstracted; when one is, every head and body occurrence of that
+//     constant becomes the same placeholder, preserving the equality
+//     pattern among constant positions (two queries whose constants are
+//     equal at different position sets get different templates, as they
+//     must);
+//   - comparison occurrences always stay concrete, even of abstracted
+//     constants: comparison thresholds change which rewritings are
+//     equivalent (a ground comparison like 5 > 3 is decidable at plan
+//     time; its abstraction V0 > 3 is not), so they are part of the
+//     template's identity. Instantiation stays exact — the concrete
+//     comparison is the one every sharing query carries verbatim;
+//   - constants occurring only in the head, or only in comparisons, stay
+//     concrete: abstracting the former would make the template unsafe (a
+//     placeholder with no relational occurrence cannot be planned or
+//     bound), and the latter is the threshold rule above.
+//
+// A query without body constants is its own template (no placeholders), so
+// template fingerprints strictly generalise the α-equivalence fingerprints:
+// plans cached per template subsume the old per-fingerprint cache.
+
+// tmplPrefix marks the transient placeholder variables CanonicalizeTemplate
+// substitutes for constants before canonicalising. The NUL byte cannot
+// appear in parsed variable names, so the names cannot collide with the
+// query's own variables; they never escape — canonicalisation renames them
+// to ordinary V<i> names.
+const tmplPrefix = "\x00$"
+
+// Template is a parameterized query template: the canonical query with
+// abstracted constants replaced by placeholder variables.
+type Template struct {
+	// Query is the canonical template. Placeholders are ordinary canonical
+	// variables (V<i>); the head keeps its original shape.
+	Query *Query
+	// Params lists the canonical names of the placeholder variables in
+	// binding order (ascending canonical index). Empty when the source
+	// query has no body constants.
+	Params []string
+	// Args holds the source query's constants in Params order — the
+	// binding under which Query instantiates back to (an α-variant of)
+	// the source query.
+	Args []string
+}
+
+// CanonicalizeTemplate abstracts q's constants to placeholders and returns
+// the canonical template together with the binding that reproduces q. Two
+// queries that differ only in variable names, subgoal order and/or the
+// values of their body constants share the same template (and fingerprint);
+// their Args differ.
+func CanonicalizeTemplate(q *Query) *Template {
+	abstractable := bodyConstants(q)
+	if len(abstractable) == 0 {
+		return &Template{Query: Canonicalize(q)}
+	}
+
+	// Substitute every head and body occurrence of each abstractable
+	// constant with a reserved placeholder variable, one per constant
+	// value. Comparison occurrences are deliberately left concrete.
+	sub := func(t Term) Term {
+		if t.IsConst() && abstractable[t.Lex] {
+			return Term{Kind: Variable, Lex: tmplPrefix + t.Lex}
+		}
+		return t
+	}
+	g := q.Clone()
+	for i, t := range g.Head.Args {
+		g.Head.Args[i] = sub(t)
+	}
+	for ai := range g.Body {
+		for i, t := range g.Body[ai].Args {
+			g.Body[ai].Args[i] = sub(t)
+		}
+	}
+
+	ct, ren := canonicalizeRen(g)
+	tmpl := &Template{Query: ct}
+	for c := range abstractable {
+		tmpl.Params = append(tmpl.Params, ren[tmplPrefix+c])
+		tmpl.Args = append(tmpl.Args, c)
+	}
+	// Binding order: ascending canonical variable index. The canonical
+	// form is α-invariant, so every α-variant of every instantiation of
+	// the template derives the same order.
+	sort.Sort(&byCanonIndex{tmpl.Params, tmpl.Args})
+	return tmpl
+}
+
+// bodyConstants returns the set of constants occurring in at least one
+// relational body atom of q — the abstractable ones.
+func bodyConstants(q *Query) map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				set[t.Lex] = true
+			}
+		}
+	}
+	return set
+}
+
+// byCanonIndex sorts Params (canonical names "V<i>") by ascending index,
+// carrying Args along.
+type byCanonIndex struct {
+	params []string
+	args   []string
+}
+
+func (s *byCanonIndex) Len() int { return len(s.params) }
+func (s *byCanonIndex) Less(i, j int) bool {
+	return canonIndex(s.params[i]) < canonIndex(s.params[j])
+}
+func (s *byCanonIndex) Swap(i, j int) {
+	s.params[i], s.params[j] = s.params[j], s.params[i]
+	s.args[i], s.args[j] = s.args[j], s.args[i]
+}
+
+// canonIndex parses the numeric index of a canonical variable name V<i>.
+func canonIndex(name string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(name, "V"))
+	return n
+}
+
+// Fingerprint returns the template's cache key: queries sharing a template
+// share the key. The placeholder set is part of the identity — a query
+// selecting on a constant and one joining a plain variable in the same
+// position canonicalise to the same query text but are different templates.
+func (t *Template) Fingerprint() string {
+	sum := sha256.Sum256([]byte(t.Query.String() + "\x00" + strings.Join(t.Params, ",")))
+	return hex.EncodeToString(sum[:16])
+}
+
+// NumParams returns the number of placeholders.
+func (t *Template) NumParams() int { return len(t.Params) }
+
+// PlanQuery returns the query a planner should rewrite: the template with
+// its placeholders appended to the head as extra distinguished variables.
+// Distinguishing them forces every rewriting to expose the parameter
+// positions, so a cached plan can filter on any binding at execution time;
+// callers compile the resulting rewriting back at the original arity with
+// the placeholders as parameter slots. Without placeholders it returns the
+// template query itself.
+func (t *Template) PlanQuery() *Query {
+	if len(t.Params) == 0 {
+		return t.Query
+	}
+	pq := t.Query.Clone()
+	for _, p := range t.Params {
+		pq.Head.Args = append(pq.Head.Args, Var(p))
+	}
+	return pq
+}
+
+// TemplateFingerprint returns the template cache key of q directly:
+// CanonicalizeTemplate(q).Fingerprint().
+func TemplateFingerprint(q *Query) string {
+	return CanonicalizeTemplate(q).Fingerprint()
+}

@@ -105,6 +105,9 @@ type CompiledPlan struct {
 	numSlots   int
 	head       []headOp
 	components []compiledComponent
+	// paramSlots are the frame slots of the plan's parameter variables, in
+	// declaration order; executions bind them before the first join step.
+	paramSlots []int
 	// empty marks plans proven unsatisfiable at compile time (a ground
 	// comparison failed, or a comparison variable occurs in no subgoal).
 	empty bool
@@ -117,6 +120,19 @@ type CompiledPlan struct {
 // execution time, and predicates missing from the database evaluate as
 // empty relations (matching EvalQuery).
 func Compile(q *cq.Query, cat *cost.Catalog) *CompiledPlan {
+	return CompileParams(q, nil, cat)
+}
+
+// CompileParams is Compile for a parameterized plan: the named variables
+// become parameter slots, treated as bound before the first join step —
+// join ordering, index-probe selection and comparison placement all see
+// them as available values, exactly like constants whose value arrives at
+// execution time. Execute with EvalWith/EvalParallelWith, passing one
+// argument per parameter in the order given here. Parameters may occur
+// anywhere a variable can (body atoms, comparisons, the head); a prepared
+// point lookup compiles to the same index-probe plan as its constant-bound
+// original.
+func CompileParams(q *cq.Query, params []string, cat *cost.Catalog) *CompiledPlan {
 	if cat == nil {
 		cat = &cost.Catalog{}
 	}
@@ -126,7 +142,8 @@ func Compile(q *cq.Query, cat *cost.Catalog) *CompiledPlan {
 	// does any variable with two or more occurrences (join variables, and
 	// repeated variables within an atom, which compile to bind-then-check).
 	// Remaining singletons are don't-care positions and never enter the
-	// frame.
+	// frame. Parameters always get slots — the execution binding must have
+	// somewhere to land — and are assigned first, in declaration order.
 	needed := neededVars(q)
 	occ := make(map[string]int)
 	for _, a := range q.Body {
@@ -146,7 +163,12 @@ func Compile(q *cq.Query, cat *cost.Catalog) *CompiledPlan {
 		}
 		return s
 	}
-	keep := func(t cq.Term) bool { return needed[t.Lex] || occ[t.Lex] > 1 }
+	isParam := make(map[string]bool, len(params))
+	for _, v := range params {
+		isParam[v] = true
+		p.paramSlots = append(p.paramSlots, slotOf(v))
+	}
+	keep := func(t cq.Term) bool { return needed[t.Lex] || occ[t.Lex] > 1 || isParam[t.Lex] }
 
 	// Ground comparisons are decided now; the rest attach to join depths.
 	for _, c := range q.Comparisons {
@@ -155,7 +177,10 @@ func Compile(q *cq.Query, cat *cost.Catalog) *CompiledPlan {
 		}
 	}
 
-	bound := make(map[string]bool)
+	bound := make(map[string]bool, len(params))
+	for _, v := range params {
+		bound[v] = true
+	}
 	for _, comp := range splitComponents(q) {
 		cc := compiledComponent{}
 		for _, v := range comp.headVars {
@@ -438,9 +463,19 @@ func stepLoop(c *compiledComponent, srcs []stepSrc, depth int, frame []string, y
 // Eval executes the plan over db sequentially and returns the distinct
 // answer tuples in sorted order. It never mutates db; callers wanting
 // indexed access paths should freeze the relations first (BuildIndexes),
-// as EvalQuery and the serving engine do.
+// as EvalQuery and the serving engine do. Parameterized plans
+// (CompileParams) must use EvalWith instead.
 func (p *CompiledPlan) Eval(db *storage.Database) []storage.Tuple {
 	return p.EvalParallel(db, 1)
+}
+
+// EvalWith executes a parameterized plan sequentially under the given
+// argument binding: args[i] is the value of the i-th parameter passed to
+// CompileParams. It panics unless len(args) matches the parameter count —
+// an arity mismatch is a programming error, like calling a function with
+// the wrong number of arguments.
+func (p *CompiledPlan) EvalWith(db *storage.Database, args []string) []storage.Tuple {
+	return p.EvalParallelWith(db, args, 1)
 }
 
 // EvalParallel executes the plan with each component's outermost candidate
@@ -449,18 +484,30 @@ func (p *CompiledPlan) Eval(db *storage.Database) []storage.Tuple {
 // runs sequentially. The database must not be mutated during the call;
 // it does not need to be frozen — stale indexes degrade to scans.
 func (p *CompiledPlan) EvalParallel(db *storage.Database, workers int) []storage.Tuple {
-	return storage.SortTuples(p.EvalParallelUnsorted(db, workers))
+	return p.EvalParallelWith(db, nil, workers)
+}
+
+// EvalParallelWith is EvalParallel under an argument binding (EvalWith).
+func (p *CompiledPlan) EvalParallelWith(db *storage.Database, args []string, workers int) []storage.Tuple {
+	return storage.SortTuples(p.EvalParallelUnsortedWith(db, args, workers))
 }
 
 // EvalParallelUnsorted is EvalParallel without the final sort: the
 // distinct answers in discovery order. Callers that merge several plans'
 // results (the engine's union evaluation) dedup first and sort once.
 func (p *CompiledPlan) EvalParallelUnsorted(db *storage.Database, workers int) []storage.Tuple {
+	return p.EvalParallelUnsortedWith(db, nil, workers)
+}
+
+// EvalParallelUnsortedWith is EvalParallelUnsorted under an argument
+// binding (EvalWith).
+func (p *CompiledPlan) EvalParallelUnsortedWith(db *storage.Database, args []string, workers int) []storage.Tuple {
+	base := p.baseFrame(args)
 	// Single-component fast path (the common case): emit head tuples
 	// straight from the frame, one allocation per distinct answer.
 	if !p.empty && len(p.components) == 1 && len(p.components[0].headSlots) > 0 {
 		c := &p.components[0]
-		rows := p.enumerateComponent(c, p.resolve(db, c), workers,
+		rows := p.enumerateComponent(c, p.resolve(db, c), workers, base,
 			func(frame []string) []string { return p.headTuple(frame) })
 		out := make([]storage.Tuple, len(rows))
 		for i, r := range rows {
@@ -468,7 +515,7 @@ func (p *CompiledPlan) EvalParallelUnsorted(db *storage.Database, workers int) [
 		}
 		return out
 	}
-	parts, ok := p.componentRows(db, workers)
+	parts, ok := p.componentRows(db, workers, base)
 	if !ok {
 		return nil
 	}
@@ -477,6 +524,7 @@ func (p *CompiledPlan) EvalParallelUnsorted(db *storage.Database, workers int) [
 	// head tuples — no cross-component dedup is needed.
 	var out []storage.Tuple
 	frame := make([]string, p.numSlots)
+	copy(frame, base) // head positions may read parameter slots
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(p.components) {
@@ -499,11 +547,34 @@ func (p *CompiledPlan) EvalParallelUnsorted(db *storage.Database, workers int) [
 	return out
 }
 
+// baseFrame builds the initial register frame of one execution: zero values
+// everywhere except the parameter slots, which hold args. A nil frame means
+// no slots at all.
+func (p *CompiledPlan) baseFrame(args []string) []string {
+	if len(args) != len(p.paramSlots) {
+		panic(fmt.Sprintf("datalog: plan takes %d parameter(s), got %d", len(p.paramSlots), len(args)))
+	}
+	if p.numSlots == 0 {
+		return nil
+	}
+	base := make([]string, p.numSlots)
+	for i, s := range p.paramSlots {
+		base[s] = args[i]
+	}
+	return base
+}
+
 // Count returns the number of distinct answers without materialising them:
 // the product of the components' distinct projection counts (head tuples
-// are injective in the head-variable assignment).
+// are injective in the head-variable assignment). Parameterized plans must
+// use CountWith.
 func (p *CompiledPlan) Count(db *storage.Database) int {
-	parts, ok := p.componentRows(db, 1)
+	return p.CountWith(db, nil)
+}
+
+// CountWith is Count under an argument binding (EvalWith).
+func (p *CompiledPlan) CountWith(db *storage.Database, args []string) int {
+	parts, ok := p.componentRows(db, 1, p.baseFrame(args))
 	if !ok {
 		return 0
 	}
@@ -550,7 +621,7 @@ func (c *compiledComponent) projectRow(frame []string) []string {
 // projections onto its head slots (nil rows for existence-only
 // components). ok=false means some component has no match — the query has
 // no answers at all.
-func (p *CompiledPlan) componentRows(db *storage.Database, workers int) ([][][]string, bool) {
+func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []string) ([][][]string, bool) {
 	if p.empty {
 		return nil, false
 	}
@@ -561,7 +632,9 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int) ([][][]s
 		if len(c.headSlots) == 0 {
 			// Pure existence check: one witness suffices.
 			found := false
-			joinSteps(c, srcs, 0, make([]string, p.numSlots), func([]string) bool {
+			frame := make([]string, p.numSlots)
+			copy(frame, base)
+			joinSteps(c, srcs, 0, frame, func([]string) bool {
 				found = true
 				return false
 			})
@@ -570,7 +643,7 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int) ([][][]s
 			}
 			continue
 		}
-		rows := p.enumerateComponent(c, srcs, workers, c.projectRow)
+		rows := p.enumerateComponent(c, srcs, workers, base, c.projectRow)
 		if len(rows) == 0 {
 			return nil, false
 		}
@@ -581,16 +654,21 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int) ([][][]s
 
 // enumerateComponent collects the component's distinct projections under
 // the given projection function, sharding the root candidate loop across
-// workers when profitable.
-func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, workers int, project func([]string) []string) [][]string {
+// workers when profitable. base is the initial frame (parameter slots
+// filled; see baseFrame).
+func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, workers int, base []string, project func([]string) []string) [][]string {
 	root := &c.steps[0]
 	tuples := srcs[0].tuples
-	// Resolve the root candidate set once. At depth 0 no slots are bound,
-	// so a root probe can only be fed by a constant.
+	// Resolve the root candidate set once. At depth 0 the only bound slots
+	// are parameters, so a root probe is fed by a constant or a parameter.
 	var positions []int
 	usePositions := false
-	if srcs[0].idx != nil && root.probeSlot < 0 {
-		positions, usePositions = srcs[0].idx[root.probeConst], true
+	if srcs[0].idx != nil {
+		val := root.probeConst
+		if root.probeSlot >= 0 {
+			val = base[root.probeSlot]
+		}
+		positions, usePositions = srcs[0].idx[val], true
 	}
 	n := len(tuples)
 	if usePositions {
@@ -600,7 +678,7 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 		workers = n
 	}
 	if workers <= 1 || root.existential {
-		return p.runShard(c, srcs, tuples, positions, usePositions, 0, 1, project)
+		return p.runShard(c, srcs, tuples, positions, usePositions, 0, 1, base, project)
 	}
 
 	// Shard the root loop round-robin; each worker dedups its own shard,
@@ -611,7 +689,7 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shards[w] = p.runShard(c, srcs, tuples, positions, usePositions, w, workers, project)
+			shards[w] = p.runShard(c, srcs, tuples, positions, usePositions, w, workers, base, project)
 		}(w)
 	}
 	wg.Wait()
@@ -632,8 +710,9 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 // runShard enumerates root candidates offset, offset+stride, ... through
 // the shared stepLoop and returns the distinct projections found below
 // them.
-func (p *CompiledPlan) runShard(c *compiledComponent, srcs []stepSrc, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int, project func([]string) []string) [][]string {
+func (p *CompiledPlan) runShard(c *compiledComponent, srcs []stepSrc, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int, base []string, project func([]string) []string) [][]string {
 	frame := make([]string, p.numSlots)
+	copy(frame, base)
 	var rows [][]string
 	seen := make(map[string]bool)
 	var keyBuf []byte
@@ -673,12 +752,18 @@ func (p *CompiledPlan) headTuple(frame []string) storage.Tuple {
 // NumSlots returns the register-frame width (distinct retained variables).
 func (p *CompiledPlan) NumSlots() int { return p.numSlots }
 
+// NumParams returns the number of parameter slots (CompileParams).
+func (p *CompiledPlan) NumParams() int { return len(p.paramSlots) }
+
 // Describe renders the physical plan for humans: one line per join step
 // with its access path, binding actions and attached comparisons.
 func (p *CompiledPlan) Describe() string {
 	var sb strings.Builder
 	if p.empty {
 		return "empty plan (unsatisfiable at compile time)\n"
+	}
+	if len(p.paramSlots) > 0 {
+		fmt.Fprintf(&sb, "params -> slots %v\n", p.paramSlots)
 	}
 	for i := range p.components {
 		c := &p.components[i]

@@ -114,3 +114,53 @@ func BenchmarkFingerprint(b *testing.B) {
 		cq.Fingerprint(q)
 	}
 }
+
+// preparedSetup builds a point-lookup serving scenario: 2000 r tuples, a
+// join view, and a constant-selecting query whose template abstracts the
+// key.
+func preparedSetup(b *testing.B) (*Engine, []*cq.Query) {
+	b.Helper()
+	base, views := pointBase(b, 2000)
+	e, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*cq.Query, 256)
+	for i := range queries {
+		queries[i] = cq.MustParseQuery(fmt.Sprintf("q(Y) :- r(k%d,Z), s(Z,Y)", i))
+	}
+	return e, queries
+}
+
+// BenchmarkAnswerVaryingConstants streams constant-varying point lookups
+// through Answer: template canonicalisation + cache hit + bound execution
+// per query (one plan compiled for the whole stream).
+func BenchmarkAnswerVaryingConstants(b *testing.B) {
+	e, queries := preparedSetup(b)
+	if _, err := e.Answer(queries[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Answer(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedExec streams the same lookups through a PreparedQuery:
+// no per-request canonicalisation at all, just the bound plan execution —
+// the engine's floor for point lookups.
+func BenchmarkPreparedExec(b *testing.B) {
+	e, queries := preparedSetup(b)
+	pq, err := e.Prepare(queries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pq.Exec(fmt.Sprintf("k%d", i%256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

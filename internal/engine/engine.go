@@ -1,20 +1,35 @@
 // Package engine is the serving front-end of the library: a concurrent,
 // plan-caching query answerer that unifies the rewriting algorithms —
 // equivalent rewriting search (LMSS95), Bucket, MiniCon and inverse rules —
-// behind one interface.
+// behind one prepared-query interface.
 //
 // An Engine is built once from a view set and a database of materialised
 // view extents (plus any base relations partial rewritings may read). Each
-// incoming query is canonicalised to a fingerprint (cq.Fingerprint), so
-// α-equivalent query texts share one cache entry; rewriting plans are kept
-// in a bounded LRU, and concurrent requests for the same fingerprint are
-// coalesced into a single rewriting search (single-flight). Containment
-// checks performed while planning are memoised across queries through a
-// shared containment.Memo.
+// incoming query is canonicalised to a *template* (cq.CanonicalizeTemplate):
+// the canonical α-renamed form with its constants abstracted to ordered
+// placeholders. Rewriting plans are cached per template in a bounded LRU —
+// so not only α-equivalent query texts but whole point-lookup streams
+// differing only in their constants share a single plan, compiled once with
+// parameter slots (datalog.CompileParams) and executed per request under
+// the binding extracted from (or passed with) each query. Concurrent
+// requests for the same template coalesce into one rewriting search
+// (single-flight), and containment checks performed while planning are
+// memoised across queries through a shared containment.Memo.
+//
+// Prepare returns the template's PreparedQuery handle; Exec(args...) runs
+// the cached plan under a fresh binding. Answer is a thin prepare-once-exec
+// wrapper, so plain callers get template caching for free.
 //
 // The expensive work — the exponential rewriting search — therefore runs at
-// most once per distinct query shape; the steady-state cost of Answer is
-// one plan-cache hit plus the evaluation of the cached rewriting.
+// most once per distinct query *shape*; the steady-state cost of Answer is
+// one template-cache hit plus the evaluation of the cached plan.
+//
+// Strategy selection can be cost-driven: under the Auto strategy the engine
+// plans each template with equivalent-first search, MiniCon or inverse
+// rules, choosing by internal/cost estimates over the catalog, and when the
+// equivalent search yields several rewritings (Options.MaxResults > 1) it
+// keeps the cheapest estimate rather than the first found. The chosen
+// strategy and estimate are recorded on the Plan and attributed in Stats.
 package engine
 
 import (
@@ -41,6 +56,11 @@ import (
 // Options.LiveUpdates.
 var ErrNotLive = errors.New("engine: built without Options.LiveUpdates; base facts are frozen")
 
+// errParamsNotCompiled guards the uncompiled-payload fallbacks: a
+// parameterized plan's logical payload is in planning form (placeholder
+// columns in the head) and cannot be evaluated directly.
+var errParamsNotCompiled = errors.New("engine: parameterized plan has no compiled form; its logical payload is in planning form and cannot be evaluated directly")
+
 // Strategy selects the rewriting algorithm an Engine plans with.
 type Strategy string
 
@@ -56,11 +76,23 @@ const (
 	// InverseRules compiles the query and views into an inverse-rules
 	// datalog program; all search cost shifts to evaluation time.
 	InverseRules Strategy = "inverse-rules"
+	// Auto picks a strategy per query template with the cost model: the
+	// cheapest equivalent rewriting when one exists, otherwise MiniCon or
+	// inverse rules, whichever internal/cost estimates cheaper under the
+	// catalog. The choice is recorded in Plan.Chosen and attributed per
+	// strategy in Stats.
+	Auto Strategy = "auto"
 )
+
+// autoMaxResults is the equivalent-rewriting candidate budget the Auto
+// strategy enumerates when Options.MaxResults does not say otherwise: cost
+// selection needs alternatives to choose between, but exhaustive
+// enumeration is exponential.
+const autoMaxResults = 4
 
 // Strategies lists the supported strategies.
 func Strategies() []Strategy {
-	return []Strategy{EquivalentFirst, Bucket, MiniCon, InverseRules}
+	return []Strategy{EquivalentFirst, Bucket, MiniCon, InverseRules, Auto}
 }
 
 // ParseStrategy resolves a strategy name, accepting the CLI spellings
@@ -75,6 +107,8 @@ func ParseStrategy(name string) (Strategy, error) {
 		return MiniCon, nil
 	case string(InverseRules), "inverse":
 		return InverseRules, nil
+	case string(Auto):
+		return Auto, nil
 	}
 	return "", fmt.Errorf("engine: unknown strategy %q (want one of %v)", name, Strategies())
 }
@@ -82,7 +116,14 @@ func ParseStrategy(name string) (Strategy, error) {
 // Options configures an Engine.
 type Options struct {
 	// Strategy selects the planning algorithm; default EquivalentFirst.
+	// Auto picks per query template by cost estimate.
 	Strategy Strategy
+	// MaxResults bounds the number of equivalent rewritings the search
+	// enumerates per plan (core.Options.MaxResults). With MaxResults > 1
+	// the engine costs every candidate under the catalog and keeps the
+	// cheapest estimate instead of the first found. 0 means 1 for the
+	// fixed strategies and a small default budget for Auto.
+	MaxResults int
 	// CacheSize bounds the plan LRU; default 128. Minimum 1.
 	CacheSize int
 	// AllowPartial admits equivalent rewritings that keep base subgoals
@@ -137,17 +178,41 @@ func (k PlanKind) String() string {
 	}
 }
 
-// Plan is a cached, immutable rewriting plan for one query fingerprint.
-// Evaluating a plan never depends on the variable names of the query that
-// produced it — answers are sets of constant tuples — so one plan serves
-// every α-equivalent query text.
+// Plan is a cached, immutable rewriting plan for one query template.
+// Evaluating a plan never depends on the variable names or the constant
+// values of the query that produced it — the constants arrive as execution
+// arguments — so one plan serves every α-equivalent query text and every
+// constant instantiation of the template.
 type Plan struct {
-	// Fingerprint is the canonical cache key (cq.Fingerprint).
+	// Fingerprint is the template cache key (cq.TemplateFingerprint).
 	Fingerprint string
-	// Strategy that built the plan.
+	// Strategy the engine was configured with when the plan was built.
 	Strategy Strategy
+	// Chosen is the algorithm that actually produced the plan: equal to
+	// Strategy for the fixed algorithms, the cost model's pick under Auto,
+	// and MiniCon when EquivalentFirst fell back to the MCR.
+	Chosen Strategy
+	// Estimate is the cost model's estimate of the chosen plan under the
+	// construction-time catalog, with the parameter slots treated as
+	// bound. It ranks candidates; it does not predict wall-clock time.
+	Estimate cost.Estimate
+	// Params lists the template's placeholder variables in binding order;
+	// executions supply one argument per entry. Empty for plans of
+	// constant-free queries.
+	Params []string
+	// Arity is the answer arity (the template head's, before the
+	// placeholders were appended for planning).
+	Arity int
 	// Kind says which of the payload fields below is set.
 	Kind PlanKind
+	// The logical payloads below are in *planning form*: for a
+	// parameterized plan their heads carry the Params placeholders as
+	// trailing distinguished columns (arity Arity+len(Params)), which is
+	// what forces rewritings to expose the parameter positions. The
+	// compiled forms are truncated back to Arity with the placeholders as
+	// parameter slots; evaluate through those, never the logical payloads
+	// directly.
+	//
 	// Rewriting is set for PlanEquivalent.
 	Rewriting *core.Rewriting
 	// Union is set for PlanMaxContained.
@@ -172,13 +237,18 @@ type Plan struct {
 	CompileTime time.Duration
 }
 
-// StrategyStats aggregates planning work per strategy.
+// StrategyStats aggregates planning work per strategy. Entries are keyed
+// by the strategy that actually produced each plan (Plan.Chosen), so under
+// Auto — and under EquivalentFirst's MiniCon fallback — the work lands on
+// the algorithm that ran, not the configured label.
 type StrategyStats struct {
 	// Plans is the number of plans built (cache misses that ran the
 	// rewriting search).
 	Plans uint64
 	// PlanTime is the cumulative wall time spent building those plans.
 	PlanTime time.Duration
+	// Hits counts cache hits served by plans this strategy built.
+	Hits uint64
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -239,6 +309,11 @@ type Engine struct {
 	// Live updates let it drift: statistics only steer plan shape, never
 	// correctness.
 	catalog *cost.Catalog
+	// constViews records whether any view definition mentions a constant.
+	// Constant abstraction is disabled then: a rewriting can hinge on a
+	// query constant matching a view's, so a constant-generic template
+	// plan could silently answer less than per-query planning would.
+	constViews bool
 	// live is the update path (nil without Options.LiveUpdates).
 	live *liveState
 
@@ -329,10 +404,22 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		opt:         opt,
 		memo:        containment.NewMemo(),
 		catalog:     cost.NewCatalog(db),
+		constViews:  viewsHaveConstants(vs.Views()),
 		cache:       newLRU(opt.CacheSize),
 		inflight:    make(map[string]*flight),
 		perStrategy: make(map[Strategy]*StrategyStats),
 	}, nil
+}
+
+// viewsHaveConstants reports whether any view definition mentions a
+// constant anywhere (head, body or comparisons).
+func viewsHaveConstants(views []*cq.Query) bool {
+	for _, v := range views {
+		if len(v.Constants()) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NewFromBase builds an Engine straight from base data: it materialises the
@@ -528,32 +615,85 @@ func appendDelta(db *storage.Database, delta map[string][]storage.Tuple) error {
 	return nil
 }
 
-// Plan returns the cached rewriting plan for q, building it on first use.
-// Concurrent calls with the same fingerprint trigger exactly one search.
-func (e *Engine) Plan(q *cq.Query) (*Plan, error) {
+// PreparedQuery is the reusable handle Prepare returns: a cached plan for
+// the query's template plus the binding extracted from the query text.
+// Exec runs the plan under any binding, so a point-lookup stream varying
+// only in constants prepares once and executes per request. A
+// PreparedQuery is immutable and safe for concurrent use; it stays valid
+// for the engine's lifetime (the underlying plan may be evicted from the
+// cache and re-built for other callers, but this handle keeps its own).
+type PreparedQuery struct {
+	eng  *Engine
+	plan *Plan
+	args []string
+}
+
+// Plan returns the cached template plan behind the handle.
+func (pq *PreparedQuery) Plan() *Plan { return pq.plan }
+
+// NumParams returns the number of execution arguments Exec expects.
+func (pq *PreparedQuery) NumParams() int { return len(pq.plan.Params) }
+
+// Args returns the binding extracted from the prepared query's own
+// constants, in parameter order — the arguments under which Exec
+// reproduces Answer of the original query.
+func (pq *PreparedQuery) Args() []string {
+	return append([]string(nil), pq.args...)
+}
+
+// Exec evaluates the prepared plan under the given argument binding and
+// returns the answer tuples in sorted order. It must receive exactly
+// NumParams arguments.
+func (pq *PreparedQuery) Exec(args ...string) ([]storage.Tuple, error) {
+	if len(args) != len(pq.plan.Params) {
+		return nil, fmt.Errorf("engine: prepared query takes %d argument(s), got %d", len(pq.plan.Params), len(args))
+	}
+	return pq.eng.exec(pq.plan, args)
+}
+
+// Prepare canonicalises q to its template — constants abstracted to
+// ordered placeholders — and returns a PreparedQuery whose plan is cached
+// per template, building it on first use. Concurrent calls with the same
+// template trigger exactly one rewriting search.
+//
+// Template plans are constant-generic: the placeholders are planned as
+// distinguished variables, so every rewriting exposes them and the cached
+// physical plan binds them as parameters per execution. Abstraction is
+// turned off (each query text is its own template) in two cases: when a
+// view definition itself mentions constants — a rewriting may then hinge
+// on a query constant matching the view's, which a generic plan cannot
+// exploit — and under the fixed InverseRules strategy, whose programs
+// want the constants compiled into the query rule's join rather than
+// filtered after the fixpoint.
+func (e *Engine) Prepare(q *cq.Query) (*PreparedQuery, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	fp := cq.Fingerprint(q)
+	tmpl := e.template(q)
+	fp := tmpl.Fingerprint()
 
 	e.mu.Lock()
 	if p, ok := e.cache.get(fp); ok {
 		e.hits++
+		e.strategyAggLocked(p.Chosen).Hits++
 		e.mu.Unlock()
-		return p, nil
+		return &PreparedQuery{eng: e, plan: p, args: tmpl.Args}, nil
 	}
 	if fl, ok := e.inflight[fp]; ok {
 		e.coalesced++
 		e.mu.Unlock()
 		<-fl.done
-		return fl.plan, fl.err
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return &PreparedQuery{eng: e, plan: fl.plan, args: tmpl.Args}, nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	e.inflight[fp] = fl
 	e.misses++
 	e.mu.Unlock()
 
-	plan, err := e.buildPlan(q, fp)
+	plan, err := e.buildPlan(tmpl, fp)
 
 	e.mu.Lock()
 	if err == nil {
@@ -566,17 +706,49 @@ func (e *Engine) Plan(q *cq.Query) (*Plan, error) {
 
 	fl.plan, fl.err = plan, err
 	close(fl.done)
-	return plan, err
-}
-
-// Answer plans q (through the cache) and evaluates the plan over the
-// engine's database, returning the answer tuples in sorted order.
-func (e *Engine) Answer(q *cq.Query) ([]storage.Tuple, error) {
-	p, err := e.Plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Eval(p)
+	return &PreparedQuery{eng: e, plan: plan, args: tmpl.Args}, nil
+}
+
+// template canonicalises q for the plan cache: the constant-abstracted
+// template normally, or the degenerate no-placeholder template when the
+// view set mentions constants (see Prepare) or the engine plans with the
+// fixed InverseRules strategy. In the latter case the constants belong
+// *inside* the compiled program — they restrict the query rule's join —
+// whereas a template program must derive the answer relation for every
+// binding and filter afterwards, an asymptotic regression for point
+// lookups; per-text plans keep the old behaviour.
+func (e *Engine) template(q *cq.Query) *cq.Template {
+	if e.constViews || e.opt.Strategy == InverseRules {
+		return &cq.Template{Query: cq.Canonicalize(q)}
+	}
+	return cq.CanonicalizeTemplate(q)
+}
+
+// Plan returns the cached template plan for q, building it on first use.
+// Queries with constants yield parameterized plans; evaluate those through
+// Prepare/Exec (Eval rejects them, since the binding is not part of the
+// plan).
+func (e *Engine) Plan(q *cq.Query) (*Plan, error) {
+	pq, err := e.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return pq.plan, nil
+}
+
+// Answer plans q (through the template cache) and evaluates the plan over
+// the engine's database under q's own constants, returning the answer
+// tuples in sorted order. It is exactly Prepare followed by Exec with the
+// extracted binding.
+func (e *Engine) Answer(q *cq.Query) ([]storage.Tuple, error) {
+	pq, err := e.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.exec(pq.plan, pq.args)
 }
 
 // AnswerBatch answers a batch of queries concurrently, preserving input
@@ -618,18 +790,29 @@ func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
 	return results, errors.Join(errs...)
 }
 
-// Eval evaluates a plan over the engine's database. Rewriting plans run
-// through their compiled physical form, and inverse-rules plans through the
-// compiled semi-naive fixpoint, with the configured EvalWorkers fan-out.
-// Any number of evaluations may run concurrently: the database is frozen
-// at construction, and on a live engine each evaluation pins one serving
+// Eval evaluates a parameterless plan over the engine's database; it
+// rejects parameterized plans, whose binding is not part of the plan — use
+// Prepare/Exec for those. Rewriting plans run through their compiled
+// physical form, and inverse-rules plans through the compiled semi-naive
+// fixpoint, with the configured EvalWorkers fan-out. Any number of
+// evaluations may run concurrently: the database is frozen at
+// construction, and on a live engine each evaluation pins one serving
 // snapshot, so it sees either the pre- or post-state of any concurrent
 // update batch, never a torn mix. Answers are sorted for deterministic
 // output.
 func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
+	if len(p.Params) > 0 {
+		return nil, fmt.Errorf("engine: plan takes %d parameter(s); execute it through Prepare/Exec", len(p.Params))
+	}
+	return e.exec(p, nil)
+}
+
+// exec evaluates a plan under an argument binding over a pinned serving
+// snapshot, recording execution counters.
+func (e *Engine) exec(p *Plan, args []string) ([]storage.Tuple, error) {
 	start := time.Now()
 	db, release := e.snapshot()
-	answers, err := e.evalPlan(db, p)
+	answers, err := e.evalPlan(db, p, args)
 	if release != nil {
 		release()
 	}
@@ -641,7 +824,7 @@ func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
 	return answers, nil
 }
 
-func (e *Engine) evalPlan(db *storage.Database, p *Plan) ([]storage.Tuple, error) {
+func (e *Engine) evalPlan(db *storage.Database, p *Plan, args []string) ([]storage.Tuple, error) {
 	workers := e.opt.EvalWorkers
 	if workers <= 0 {
 		workers = 1
@@ -649,17 +832,23 @@ func (e *Engine) evalPlan(db *storage.Database, p *Plan) ([]storage.Tuple, error
 	switch p.Kind {
 	case PlanEquivalent:
 		if p.Compiled == nil { // plan built outside the engine
+			if len(p.Params) > 0 {
+				return nil, errParamsNotCompiled
+			}
 			return datalog.EvalQuery(db, p.Rewriting.Query), nil
 		}
-		return p.Compiled.EvalParallel(db, workers), nil
+		return p.Compiled.EvalParallelWith(db, args, workers), nil
 	case PlanMaxContained:
 		if p.CompiledUnion == nil {
+			if len(p.Params) > 0 {
+				return nil, errParamsNotCompiled
+			}
 			return datalog.EvalUnion(db, p.Union), nil
 		}
 		var out []storage.Tuple
 		seen := make(map[string]bool)
 		for _, cp := range p.CompiledUnion {
-			for _, t := range cp.EvalParallelUnsorted(db, workers) {
+			for _, t := range cp.EvalParallelUnsortedWith(db, args, workers) {
 				if k := t.Key(); !seen[k] {
 					seen[k] = true
 					out = append(out, t)
@@ -687,10 +876,40 @@ func (e *Engine) evalPlan(db *storage.Database, p *Plan) ([]storage.Tuple, error
 				derived = rel.Tuples()
 			}
 		}
+		// A parameterized program derives the answer relation with the
+		// placeholder columns appended to the head: select the rows
+		// matching the binding and project them away.
+		derived = selectParams(derived, p.Arity, args)
 		return datalog.CertainAnswers(derived), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan kind %d", p.Kind)
 	}
+}
+
+// selectParams filters answer-relation tuples of arity+len(args) columns
+// down to those whose trailing columns equal args, projected to the first
+// arity columns. With no args it returns tuples unchanged.
+func selectParams(tuples []storage.Tuple, arity int, args []string) []storage.Tuple {
+	if len(args) == 0 {
+		return tuples
+	}
+	var out []storage.Tuple
+	for _, t := range tuples {
+		if len(t) != arity+len(args) {
+			continue // foreign-arity tuple: not this plan's (defensive)
+		}
+		match := true
+		for i, a := range args {
+			if t[arity+i] != a {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, t[:arity:arity])
+		}
+	}
+	return out
 }
 
 // Stats snapshots the engine counters.
@@ -724,31 +943,31 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// buildPlan runs the configured rewriting algorithm over the canonical form
-// of q, so the resulting plan depends only on the fingerprint — never on
-// which α-variant of the query happened to arrive first. It executes
-// outside the engine mutex; only the counter update at the end takes it.
-func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
+// buildPlan runs the configured rewriting algorithm over the template's
+// plan query — the canonical form with the placeholders appended to the
+// head as distinguished variables — so the resulting plan depends only on
+// the template fingerprint, never on which α-variant or constant
+// instantiation happened to arrive first. It executes outside the engine
+// mutex; only the counter update at the end takes it.
+func (e *Engine) buildPlan(tmpl *cq.Template, fp string) (*Plan, error) {
 	start := time.Now()
-	qc := cq.Canonicalize(q)
-	p := &Plan{Fingerprint: fp, Strategy: e.opt.Strategy, AnswerPred: qc.Name()}
+	qc := tmpl.PlanQuery()
+	p := &Plan{
+		Fingerprint: fp,
+		Strategy:    e.opt.Strategy,
+		Chosen:      e.opt.Strategy,
+		Params:      tmpl.Params,
+		Arity:       len(tmpl.Query.Head.Args),
+		AnswerPred:  qc.Name(),
+	}
 	switch e.opt.Strategy {
 	case EquivalentFirst:
-		r := core.NewRewriter(e.views)
-		r.Opt.AllowPartial = e.opt.AllowPartial
-		r.Opt.KeepComparisons = e.opt.KeepComparisons
-		r.Memo = e.memo
-		if rw := r.RewriteOne(qc); rw != nil {
-			p.Kind = PlanEquivalent
-			p.Rewriting = rw
-			break
+		if !e.planEquivalent(p, qc) {
+			if err := e.planMiniCon(p, qc); err != nil {
+				return nil, err
+			}
+			p.Chosen = MiniCon
 		}
-		u, _, err := minicon.Rewrite(qc, e.views, minicon.Options{VerifyCandidates: true, KeepComparisons: e.opt.KeepComparisons})
-		if err != nil {
-			return nil, err
-		}
-		p.Kind = PlanMaxContained
-		p.Union = u
 	case Bucket:
 		u, _, err := bucket.Rewrite(qc, e.views, bucket.Options{KeepComparisons: e.opt.KeepComparisons})
 		if err != nil {
@@ -756,35 +975,35 @@ func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
 		}
 		p.Kind = PlanMaxContained
 		p.Union = u
+		p.Estimate = cost.EstimateUnionWith(e.catalog, u, tmpl.Params)
 	case MiniCon:
-		u, _, err := minicon.Rewrite(qc, e.views, minicon.Options{VerifyCandidates: true, KeepComparisons: e.opt.KeepComparisons})
-		if err != nil {
+		if err := e.planMiniCon(p, qc); err != nil {
 			return nil, err
 		}
-		p.Kind = PlanMaxContained
-		p.Union = u
 	case InverseRules:
-		prog, err := inverserules.Program(qc, e.viewDefs)
-		if err != nil {
+		if err := e.planInverse(p, qc); err != nil {
 			return nil, err
 		}
-		p.Kind = PlanInverseProgram
-		p.Program = prog
+	case Auto:
+		if err := e.planAuto(p, qc); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %q", e.opt.Strategy)
 	}
 	p.BuildTime = time.Since(start)
 
 	// Lower the rewriting to its physical form once, under the frozen
-	// database's statistics; every execution of the cached plan reuses it.
+	// database's statistics, with the template placeholders as parameter
+	// slots; every execution of the cached plan binds and reuses it.
 	compileStart := time.Now()
 	switch p.Kind {
 	case PlanEquivalent:
-		p.Compiled = datalog.Compile(p.Rewriting.Query, e.catalog)
+		p.Compiled = datalog.CompileParams(e.execQuery(p, p.Rewriting.Query), p.Params, e.catalog)
 	case PlanMaxContained:
 		p.CompiledUnion = make([]*datalog.CompiledPlan, p.Union.Len())
 		for i, m := range p.Union.Queries {
-			p.CompiledUnion[i] = datalog.Compile(m, e.catalog)
+			p.CompiledUnion[i] = datalog.CompileParams(e.execQuery(p, m), p.Params, e.catalog)
 		}
 	case PlanInverseProgram:
 		cp, err := datalog.CompileProgram(p.Program, e.catalog)
@@ -796,14 +1015,151 @@ func (e *Engine) buildPlan(q *cq.Query, fp string) (*Plan, error) {
 	p.CompileTime = time.Since(compileStart)
 
 	e.mu.Lock()
-	agg := e.perStrategy[e.opt.Strategy]
-	if agg == nil {
-		agg = &StrategyStats{}
-		e.perStrategy[e.opt.Strategy] = agg
-	}
+	agg := e.strategyAggLocked(p.Chosen)
 	agg.Plans++
 	agg.PlanTime += p.BuildTime
 	e.compileTime += p.CompileTime
 	e.mu.Unlock()
 	return p, nil
+}
+
+// execQuery shapes a rewriting for compilation: the planning head carried
+// the template placeholders as extra distinguished columns (so rewritings
+// expose them); execution binds them as parameters instead, so the
+// compiled head is truncated back to the answer arity.
+func (e *Engine) execQuery(p *Plan, q *cq.Query) *cq.Query {
+	if len(p.Params) == 0 {
+		return q
+	}
+	return &cq.Query{
+		Head:        cq.Atom{Pred: q.Head.Pred, Args: q.Head.Args[:p.Arity:p.Arity]},
+		Body:        q.Body,
+		Comparisons: q.Comparisons,
+	}
+}
+
+// planEquivalent searches for equivalent rewritings of qc, keeping the
+// cheapest estimate when the search yields several (Options.MaxResults).
+// It reports whether any rewriting was found.
+func (e *Engine) planEquivalent(p *Plan, qc *cq.Query) bool {
+	r := core.NewRewriter(e.views)
+	r.Opt.AllowPartial = e.opt.AllowPartial
+	r.Opt.KeepComparisons = e.opt.KeepComparisons
+	r.Opt.MaxResults = e.opt.MaxResults
+	if r.Opt.MaxResults <= 0 && e.opt.Strategy == Auto {
+		r.Opt.MaxResults = autoMaxResults
+	}
+	r.Memo = e.memo
+	results, _ := r.Rewrite(qc)
+	if len(results) == 0 {
+		return false
+	}
+	candidates := make([]*cq.Query, len(results))
+	for i, rw := range results {
+		candidates[i] = rw.Query
+	}
+	best, ests := cost.ChooseWith(e.catalog, candidates, p.Params)
+	p.Kind = PlanEquivalent
+	p.Rewriting = results[best]
+	p.Estimate = ests[best]
+	p.Chosen = EquivalentFirst
+	return true
+}
+
+// planMiniCon builds the MiniCon maximally-contained rewriting of qc.
+func (e *Engine) planMiniCon(p *Plan, qc *cq.Query) error {
+	u, _, err := minicon.Rewrite(qc, e.views, minicon.Options{VerifyCandidates: true, KeepComparisons: e.opt.KeepComparisons})
+	if err != nil {
+		return err
+	}
+	p.Kind = PlanMaxContained
+	p.Union = u
+	p.Estimate = cost.EstimateUnionWith(e.catalog, u, p.Params)
+	return nil
+}
+
+// planInverse builds the inverse-rules program of qc.
+func (e *Engine) planInverse(p *Plan, qc *cq.Query) error {
+	prog, err := inverserules.Program(qc, e.viewDefs)
+	if err != nil {
+		return err
+	}
+	p.Kind = PlanInverseProgram
+	p.Program = prog
+	p.Estimate = prog.EstimateCost(e.programCatalog())
+	return nil
+}
+
+// planAuto is the cost-driven strategy: the cheapest equivalent rewriting
+// when one exists (equivalent rewritings are exact, so they always beat
+// the maximally-contained routes on answer quality); otherwise MiniCon or
+// inverse rules, whichever the cost model estimates cheaper under the
+// catalog. The winning algorithm lands in p.Chosen.
+//
+// For parameterized templates the inverse route is a last resort, taken
+// only when the MCR is empty: a parameterized program derives the answer
+// relation for every binding and filters per execution, so whenever
+// MiniCon can answer at all it wins regardless of the one-round estimate.
+func (e *Engine) planAuto(p *Plan, qc *cq.Query) error {
+	if e.planEquivalent(p, qc) {
+		return nil
+	}
+	var mc Plan
+	mc.Params, mc.Arity = p.Params, p.Arity
+	if err := e.planMiniCon(&mc, qc); err != nil {
+		return err
+	}
+	if mc.Union.Len() > 0 && len(p.Params) > 0 {
+		// MiniCon wins outright: don't build a program just to discard it.
+		p.Kind, p.Union, p.Estimate = mc.Kind, mc.Union, mc.Estimate
+		p.Chosen = MiniCon
+		return nil
+	}
+	var inv Plan
+	inv.Params, inv.Arity = p.Params, p.Arity
+	if err := e.planInverse(&inv, qc); err != nil {
+		return err
+	}
+	if mc.Union.Len() > 0 && mc.Estimate.Cost <= inv.Estimate.Cost {
+		p.Kind, p.Union, p.Estimate = mc.Kind, mc.Union, mc.Estimate
+		p.Chosen = MiniCon
+		return nil
+	}
+	p.Kind, p.Program, p.Estimate = inv.Kind, inv.Program, inv.Estimate
+	p.Chosen = InverseRules
+	return nil
+}
+
+// programCatalog clones the engine catalog and seeds cardinality guesses
+// for the relations an inverse-rules program reconstructs: each base
+// predicate's rows default to the total rows of the view extents that
+// mention it (every view tuple yields at most one inverse tuple per
+// occurrence), so program estimates compare against rewriting estimates on
+// roughly honest terms instead of the unknown-relation default of 1.
+func (e *Engine) programCatalog() *cost.Catalog {
+	c := e.catalog.Clone()
+	guess := make(map[string]float64)
+	for _, v := range e.viewDefs {
+		rows := c.Rows(v.Name())
+		for _, a := range v.Body {
+			guess[a.Pred] += rows
+		}
+	}
+	for pred, rows := range guess {
+		if c.Rows(pred) <= 1 {
+			c.SetRelation(pred, rows, nil)
+		}
+	}
+	return c
+}
+
+// strategyAggLocked returns the per-strategy aggregate for s, creating it
+// on first use. Callers must hold e.mu.
+func (e *Engine) strategyAggLocked(s Strategy) *StrategyStats {
+	agg := e.perStrategy[s]
+	if agg == nil {
+		agg = &StrategyStats{}
+		e.perStrategy[s] = agg
+	}
+	return agg
 }
