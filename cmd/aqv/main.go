@@ -81,6 +81,7 @@ func run(args []string, out *os.File) error {
 	explain := fs.Bool("explain", false, "print the compiled execution plan (equivalent: the chosen rewriting, needs -data; inverse: the compiled program)")
 	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
 	workers := fs.Int("workers", 1, "batch mode: goroutines each evaluation fans its outer join loop across (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "batch/stream mode: hash-partition the serving database into this many shards and evaluate shard-locally (0 or 1 = flat)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,10 +122,10 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	if *queriesPath != "" {
-		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *partial, *prepare, *stats)
+		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *shards, *partial, *prepare, *stats)
 	}
 	if *streamPath != "" {
-		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *partial, *stats)
+		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *shards, *partial, *stats)
 	}
 
 	q, err := loadQuery(*queryPath)
@@ -322,7 +323,7 @@ func printPlan(out *os.File, p *aqv.EnginePlan) {
 // preparing each query against the template cache and executing it under
 // its own constants. Without -data only the plans are printed; with -data
 // each query's answers follow its plan.
-func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, prepare, stats bool) error {
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, partial, prepare, stats bool) error {
 	queries, err := loadQueries(path)
 	if err != nil {
 		return err
@@ -341,6 +342,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		AllowPartial:    partial,
 		KeepComparisons: true,
 		EvalWorkers:     workers,
+		Shards:          shards,
 	})
 	if err != nil {
 		return err
@@ -389,7 +391,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 // applies the batch (delta-maintaining the extents) and then answers over
 // the updated snapshot. One statement per line; trailing facts are applied
 // at end of stream.
-func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers int, partial, stats bool) error {
+func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, partial, stats bool) error {
 	strategy, err := aqv.ParseStrategy(algo)
 	if err != nil {
 		return err
@@ -403,6 +405,7 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 		AllowPartial:    partial,
 		KeepComparisons: true,
 		EvalWorkers:     workers,
+		Shards:          shards,
 		LiveUpdates:     true,
 	})
 	if err != nil {

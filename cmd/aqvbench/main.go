@@ -9,6 +9,8 @@
 //	aqvbench -exp F1                  # run one experiment
 //	aqvbench -list                    # list experiment ids
 //	aqvbench -evalbench BENCH_eval.json  # measure the evaluator, write JSON
+//	aqvbench -scaling BENCH_eval.json    # sweep shard counts, merge the
+//	                                     # "partitioned" section into the report
 package main
 
 import (
@@ -32,6 +34,7 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment id (T1..T5, F1..F6) or 'all'")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	evalBench := fs.String("evalbench", "", "measure the evaluator (interp vs compiled cold/warm/parallel) and write machine-readable JSON to this path ('-' = stdout)")
+	scaling := fs.String("scaling", "", "sweep the sharded executor across shard counts (1..max(GOMAXPROCS,8)) and merge the 'partitioned' section into the JSON report at this path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +44,9 @@ func run(args []string) error {
 	}
 	if *evalBench != "" {
 		return runEvalBench(*evalBench)
+	}
+	if *scaling != "" {
+		return runScalingBench(*scaling)
 	}
 	if strings.EqualFold(*exp, "all") {
 		for _, id := range experiments.IDs() {

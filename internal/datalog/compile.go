@@ -519,9 +519,14 @@ func (p *CompiledPlan) EvalParallelUnsortedWith(db *storage.Database, args []str
 	if !ok {
 		return nil
 	}
-	// Combine the per-component distinct projections. Components bind
-	// disjoint head variables, so distinct row combinations yield distinct
-	// head tuples — no cross-component dedup is needed.
+	return p.combineComponents(parts, base)
+}
+
+// combineComponents combines the per-component distinct projections into
+// head tuples. Components bind disjoint head variables, so distinct row
+// combinations yield distinct head tuples — no cross-component dedup is
+// needed.
+func (p *CompiledPlan) combineComponents(parts [][][]string, base []string) []storage.Tuple {
 	var out []storage.Tuple
 	frame := make([]string, p.numSlots)
 	copy(frame, base) // head positions may read parameter slots

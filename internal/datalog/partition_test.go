@@ -1,0 +1,208 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/cq"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Differential property tests for the sharded execution paths: partitioned
+// evaluation — joins with exchanges, per-shard fixpoints, sharded IVM
+// batches, prepared exec — must be tuple-set-identical to the unpartitioned
+// path on randomized workloads, for every shard count and partition-column
+// policy (correctness may never depend on the physical layout).
+
+// randomPartition re-buckets db under a random physical design: a random
+// shard count and either the catalog policy or adversarially random
+// partition columns, frozen or not.
+func randomPartition(rng *rand.Rand, db *storage.Database, cat *cost.Catalog) *storage.PartitionedDatabase {
+	shards := 1 + rng.Intn(6)
+	var partCols map[string]int
+	if rng.Intn(2) == 0 && cat != nil {
+		partCols = cat.PartitionColumns(nil)
+	} else {
+		partCols = make(map[string]int)
+		for _, pred := range db.Predicates() {
+			partCols[pred] = rng.Intn(db.Relation(pred).Arity())
+		}
+	}
+	pdb := storage.Partition(db, shards, partCols)
+	if rng.Intn(3) > 0 {
+		pdb.BuildIndexes() // sometimes left unfrozen: probes fall back to scans
+	}
+	return pdb
+}
+
+func TestShardedPlanDifferential(t *testing.T) {
+	trials := 160
+	if testing.Short() {
+		trials = 40
+	}
+	rng := rand.New(rand.NewSource(523))
+	preds := []string{"p1", "p2", "p3"}
+	for trial := 0; trial < trials; trial++ {
+		reuse := []float64{0, 0.3, 0.6}[trial%3]
+		q := workload.RandomQuery(rng, 2+rng.Intn(4), len(preds), reuse)
+		db := workload.RandomDatabase(rng, preds, 2, 10+rng.Intn(25), 6+rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			a := rng.Intn(len(q.Body))
+			q.Body[a].Args[rng.Intn(2)] = cq.Const(fmt.Sprintf("c%d", rng.Intn(8)))
+		}
+		var bodyVars []cq.Term
+		seenVar := map[string]bool{}
+		for _, a := range q.Body {
+			for _, arg := range a.Args {
+				if arg.IsVar() && !seenVar[arg.Lex] {
+					seenVar[arg.Lex] = true
+					bodyVars = append(bodyVars, arg)
+				}
+			}
+		}
+		for i := rng.Intn(2); i > 0 && len(bodyVars) > 0; i-- {
+			l := bodyVars[rng.Intn(len(bodyVars))]
+			r := cq.Term(cq.Const(fmt.Sprintf("c%d", rng.Intn(8))))
+			if rng.Intn(2) == 0 {
+				r = bodyVars[rng.Intn(len(bodyVars))]
+			}
+			q.AddComparison(cq.NewComparison(l, cq.CompOp(rng.Intn(6)), r))
+		}
+		db.BuildIndexes()
+		cat := cost.NewCatalog(db)
+		plan := Compile(q, cat)
+		want := plan.EvalParallel(db, 1+rng.Intn(3))
+		pdb := randomPartition(rng, db, cat)
+		got := plan.EvalSharded(pdb, 1+rng.Intn(4))
+		if !storage.TuplesEqual(got, want) {
+			t.Fatalf("trial %d %s shards=%d: sharded %v want %v\nplan:\n%s",
+				trial, q, pdb.NumShards(), got, want, plan.Describe())
+		}
+	}
+}
+
+func TestShardedFixpointDifferential(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(0x5A4D))
+	for trial := 0; trial < trials; trial++ {
+		db := randomProgDB(rng)
+		prog := randomProgram(rng, trial)
+		cp, err := CompileProgram(prog, cost.NewRowCatalog(db))
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, prog)
+		}
+		want, err := cp.Eval(db)
+		if err != nil {
+			t.Fatalf("trial %d: eval: %v\n%s", trial, err, prog)
+		}
+		pdb := randomPartition(rng, db, nil)
+		got, err := cp.EvalSharded(pdb, 1+rng.Intn(4))
+		if err != nil {
+			t.Fatalf("trial %d: sharded eval: %v\n%s", trial, err, prog)
+		}
+		diffDatabases(t, fmt.Sprintf("trial %d (sharded, %d shards)\n%s", trial, pdb.NumShards(), prog), got, want)
+
+		// The single-relation serving path must agree too.
+		for _, pred := range want.Predicates() {
+			if trial%5 != 0 {
+				break
+			}
+			rel, _, err := cp.EvalRelationSharded(pdb, pred, 2)
+			if err != nil {
+				t.Fatalf("trial %d: EvalRelationSharded(%s): %v", trial, pred, err)
+			}
+			if !storage.TuplesEqual(rel, want.Relation(pred).Tuples()) {
+				t.Fatalf("trial %d: EvalRelationSharded(%s) diverges", trial, pred)
+			}
+		}
+	}
+}
+
+func TestShardedMaintainDeltaDifferential(t *testing.T) {
+	streams := 120
+	if testing.Short() {
+		streams = 30
+	}
+	rng := rand.New(rand.NewSource(0xB0B5))
+	for stream := 0; stream < streams; stream++ {
+		edb := randomProgDB(rng)
+		prog := randomProgram(rng, stream)
+		cp, err := CompileProgramIVM(prog, cost.NewRowCatalog(edb))
+		if err != nil {
+			t.Fatalf("stream %d: compile: %v\n%s", stream, err, prog)
+		}
+		// Materialize once, partition the maintained state, then feed the
+		// same batches to the partitioned and unpartitioned maintainers.
+		flat, err := cp.Eval(edb)
+		if err != nil {
+			t.Fatalf("stream %d: materialize: %v\n%s", stream, err, prog)
+		}
+		pdb := randomPartition(rng, flat, nil)
+		batches := 1 + rng.Intn(4)
+		for batch := 0; batch < batches; batch++ {
+			upd := randomUpdate(rng)
+			workers := 1 + rng.Intn(4)
+			freshFlat, _, _, err := cp.ApplyInserts(flat, upd, workers)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: flat maintain: %v\n%s", stream, batch, err, prog)
+			}
+			fresh, derived, stats, err := cp.ApplyInsertsSharded(pdb, upd, workers)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: sharded maintain: %v\n%s", stream, batch, err, prog)
+			}
+			total := 0
+			for _, d := range derived {
+				total += len(d)
+			}
+			if total != stats.Derived {
+				t.Fatalf("stream %d batch %d: derived map has %d tuples, stats report %d", stream, batch, total, stats.Derived)
+			}
+			for pred := range freshFlat {
+				if len(fresh[pred]) != len(freshFlat[pred]) {
+					t.Fatalf("stream %d batch %d: fresh %s: sharded %d flat %d", stream, batch, pred, len(fresh[pred]), len(freshFlat[pred]))
+				}
+			}
+			diffDatabases(t, fmt.Sprintf("stream %d batch %d (sharded vs flat, %d shards)\n%s", stream, batch, pdb.NumShards(), prog), pdb.Flatten(), flat)
+		}
+	}
+}
+
+func TestShardedPreparedDifferential(t *testing.T) {
+	trials := 100
+	if testing.Short() {
+		trials = 25
+	}
+	rng := rand.New(rand.NewSource(907))
+	preds := []string{"p1", "p2", "p3"}
+	for trial := 0; trial < trials; trial++ {
+		db := workload.RandomDatabase(rng, preds, 2, 60+rng.Intn(120), 12)
+		db.BuildIndexes()
+		cat := cost.NewCatalog(db)
+
+		n := 2 + rng.Intn(2)
+		var body []cq.Atom
+		for i := 0; i < n; i++ {
+			body = append(body, cq.NewAtom(preds[rng.Intn(len(preds))],
+				cq.Var(fmt.Sprintf("X%d", i)), cq.Var(fmt.Sprintf("X%d", i+1))))
+		}
+		q := cq.NewQuery(cq.NewAtom("q", cq.Var(fmt.Sprintf("X%d", n))), body...)
+		params := []string{"X0"}
+		plan := CompileParams(q, params, cat)
+		pdb := randomPartition(rng, db, cat)
+		for rep := 0; rep < 6; rep++ {
+			args := []string{fmt.Sprintf("c%d", rng.Intn(14))}
+			want := plan.EvalParallelWith(db, args, 2)
+			got := plan.EvalShardedWith(pdb, args, 1+rng.Intn(4))
+			if !storage.TuplesEqual(got, want) {
+				t.Fatalf("trial %d %s args %v shards=%d: got %v want %v",
+					trial, q, args, pdb.NumShards(), got, want)
+			}
+		}
+	}
+}

@@ -142,6 +142,16 @@ type Options struct {
 	// cores already; set it explicitly (e.g. to GOMAXPROCS) when single
 	// large queries should use idle cores.
 	EvalWorkers int
+	// Shards hash-partitions every serving snapshot into this many shards
+	// (storage.Partition, partition columns picked by the catalog's
+	// probe-column statistics) and routes compiled plan executions through
+	// the sharded evaluator: consecutive joins probing a partition column
+	// stay inside one shard, join-key changes exchange intermediate frames
+	// between shards, and inverse-rules fixpoints run per-shard with deltas
+	// merged at round barriers. 0 or 1 serves from the flat database. On a
+	// live engine both serving sides keep partitioned twins, updated under
+	// the same side locks, and the maintainer propagates per-shard too.
+	Shards int
 	// LiveUpdates enables the mutation path: Insert/InsertBatch/ApplyBatch
 	// apply base facts and delta-maintain every view extent instead of the
 	// database being frozen forever at construction. Requires NewFromBase
@@ -302,7 +312,11 @@ type Engine struct {
 	views    *core.ViewSet
 	viewDefs []*cq.Query
 	db       *storage.Database
-	opt      Options
+	// pdb is the hash-partitioned twin of db when Options.Shards > 1 on a
+	// frozen (non-live) engine; live engines keep per-side twins instead
+	// (liveState.psides).
+	pdb *storage.PartitionedDatabase
+	opt Options
 	memo     *containment.Memo
 	// catalog holds the construction-time database statistics, used to
 	// order joins and pick probe columns when compiling physical plans.
@@ -364,6 +378,14 @@ type liveState struct {
 	sides    [2]*storage.Database
 	locks    [2]sync.RWMutex
 	active   atomic.Int32
+
+	// psides are the hash-partitioned twins of sides when Options.Shards > 1
+	// (nil otherwise). Each is mutated only under the matching side lock, so
+	// a pinned snapshot's flat and partitioned views agree. partCols is the
+	// construction-time partition-column policy, reused when a batch
+	// introduces a predicate the sides have not seen.
+	psides   [2]*storage.PartitionedDatabase
+	partCols map[string]int
 }
 
 // flight is one in-progress plan construction other callers can wait on.
@@ -397,7 +419,7 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		db = storage.NewDatabase()
 	}
 	db.BuildIndexes()
-	return &Engine{
+	e := &Engine{
 		views:       vs,
 		viewDefs:    vs.Views(),
 		db:          db,
@@ -408,7 +430,12 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		cache:       newLRU(opt.CacheSize),
 		inflight:    make(map[string]*flight),
 		perStrategy: make(map[Strategy]*StrategyStats),
-	}, nil
+	}
+	if opt.Shards > 1 {
+		e.pdb = storage.Partition(db, opt.Shards, e.catalog.PartitionColumns(nil))
+		e.pdb.BuildIndexes()
+	}
+	return e, nil
 }
 
 // viewsHaveConstants reports whether any view definition mentions a
@@ -463,7 +490,7 @@ func newLive(vs *core.ViewSet, base *storage.Database, views []*cq.Query, opt Op
 	if workers <= 0 {
 		workers = 1
 	}
-	m, err := ivm.New(base, views, ivm.Options{Workers: workers})
+	m, err := ivm.New(base, views, ivm.Options{Workers: workers, Shards: opt.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -487,16 +514,25 @@ func newLive(vs *core.ViewSet, base *storage.Database, views []*cq.Query, opt Op
 	}
 	inner := opt
 	inner.LiveUpdates = false
+	inner.Shards = 0 // live engines partition per serving side, not e.pdb
 	e, err := New(vs, side0, inner) // indexes side0
 	if err != nil {
 		return nil, err
 	}
 	e.opt.LiveUpdates = true
+	e.opt.Shards = opt.Shards
 	side1 := side0.Clone()
 	side1.BuildIndexes()
 	e.live = &liveState{maint: m, servesBase: opt.Strategy != InverseRules}
 	e.live.sides[0] = side0
 	e.live.sides[1] = side1
+	if opt.Shards > 1 {
+		e.live.partCols = e.catalog.PartitionColumns(nil)
+		for i, side := range e.live.sides {
+			e.live.psides[i] = storage.Partition(side, opt.Shards, e.live.partCols)
+			e.live.psides[i].BuildIndexes()
+		}
+	}
 	return e, nil
 }
 
@@ -514,18 +550,29 @@ func (e *Engine) Database() *storage.Database {
 	return e.db
 }
 
-// snapshot returns the database an evaluation should read and a release
-// function, nil when no release is needed. Live engines pin the active
-// side under its read lock: the update path only mutates a side under the
-// corresponding write lock, so the pinned side is torn-free for the whole
-// evaluation.
-func (e *Engine) snapshot() (*storage.Database, func()) {
+// snapshot returns the database an evaluation should read, its partitioned
+// twin (nil unless Options.Shards > 1), and a release function, nil when no
+// release is needed. Live engines pin the active side under its read lock:
+// the update path only mutates a side — flat and partitioned twin alike —
+// under the corresponding write lock, so the pinned pair is torn-free and
+// mutually consistent for the whole evaluation.
+func (e *Engine) snapshot() (*storage.Database, *storage.PartitionedDatabase, func()) {
 	if e.live == nil {
-		return e.db, nil
+		return e.db, e.pdb, nil
 	}
 	i := e.live.active.Load()
 	e.live.locks[i].RLock()
-	return e.live.sides[i], e.live.locks[i].RUnlock
+	return e.live.sides[i], e.live.psides[i], e.live.locks[i].RUnlock
+}
+
+// Partitioned returns the hash-partitioned twin of the serving database, or
+// nil when Options.Shards <= 1. On a live engine this is the currently
+// active side's twin; like Database, use Answer for concurrent reads.
+func (e *Engine) Partitioned() *storage.PartitionedDatabase {
+	if e.live != nil {
+		return e.live.psides[e.live.active.Load()]
+	}
+	return e.pdb
 }
 
 // Insert applies one base fact, delta-maintaining every extent.
@@ -580,7 +627,9 @@ func (e *Engine) ApplyBatch(updates map[string][]storage.Tuple) error {
 	return nil
 }
 
-// applySide appends one batch's base and extent deltas to serving side i.
+// applySide appends one batch's base and extent deltas to serving side i —
+// the flat database and, when the engine is sharded, its partitioned twin,
+// both under the side's write lock so snapshots stay mutually consistent.
 func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
 	l.locks[i].Lock()
 	defer l.locks[i].Unlock()
@@ -590,7 +639,18 @@ func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
 			return err
 		}
 	}
-	return appendDelta(db, res.ExtentDelta)
+	if err := appendDelta(db, res.ExtentDelta); err != nil {
+		return err
+	}
+	if pdb := l.psides[i]; pdb != nil {
+		if l.servesBase {
+			if err := appendDeltaSharded(pdb, l.partCols, res.BaseInserted); err != nil {
+				return err
+			}
+		}
+		return appendDeltaSharded(pdb, l.partCols, res.ExtentDelta)
+	}
+	return nil
 }
 
 // appendDelta inserts delta tuples, creating (and freezing) relations for
@@ -610,6 +670,29 @@ func appendDelta(db *storage.Database, delta map[string][]storage.Tuple) error {
 		}
 		if !rel.Frozen() {
 			rel.BuildIndexes()
+		}
+	}
+	return nil
+}
+
+// appendDeltaSharded routes delta tuples into a partitioned serving twin,
+// creating relations under the engine's partition-column policy for
+// predicates the twin has not seen. Shard-local indexes are maintained
+// incrementally on frozen shards, exactly like appendDelta.
+func appendDeltaSharded(pdb *storage.PartitionedDatabase, partCols map[string]int, delta map[string][]storage.Tuple) error {
+	for pred, tuples := range delta {
+		if len(tuples) == 0 {
+			continue
+		}
+		pr, err := pdb.Ensure(pred, len(tuples[0]), partCols[pred])
+		if err != nil {
+			return err // unreachable: the maintainer validated arities
+		}
+		for _, t := range tuples {
+			pr.Insert(t)
+		}
+		if !pr.Frozen() {
+			pr.BuildIndexes()
 		}
 	}
 	return nil
@@ -811,8 +894,8 @@ func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
 // snapshot, recording execution counters.
 func (e *Engine) exec(p *Plan, args []string) ([]storage.Tuple, error) {
 	start := time.Now()
-	db, release := e.snapshot()
-	answers, err := e.evalPlan(db, p, args)
+	db, pdb, release := e.snapshot()
+	answers, err := e.evalPlan(db, pdb, p, args)
 	if release != nil {
 		release()
 	}
@@ -824,7 +907,11 @@ func (e *Engine) exec(p *Plan, args []string) ([]storage.Tuple, error) {
 	return answers, nil
 }
 
-func (e *Engine) evalPlan(db *storage.Database, p *Plan, args []string) ([]storage.Tuple, error) {
+// evalPlan evaluates a plan over a pinned snapshot. When pdb is non-nil
+// (Options.Shards > 1) the compiled forms run through the sharded evaluator
+// over the partitioned twin; the uncompiled fallbacks and answer shaping are
+// layout-independent and always read the flat database.
+func (e *Engine) evalPlan(db *storage.Database, pdb *storage.PartitionedDatabase, p *Plan, args []string) ([]storage.Tuple, error) {
 	workers := e.opt.EvalWorkers
 	if workers <= 0 {
 		workers = 1
@@ -837,6 +924,9 @@ func (e *Engine) evalPlan(db *storage.Database, p *Plan, args []string) ([]stora
 			}
 			return datalog.EvalQuery(db, p.Rewriting.Query), nil
 		}
+		if pdb != nil {
+			return p.Compiled.EvalShardedWith(pdb, args, workers), nil
+		}
 		return p.Compiled.EvalParallelWith(db, args, workers), nil
 	case PlanMaxContained:
 		if p.CompiledUnion == nil {
@@ -848,7 +938,13 @@ func (e *Engine) evalPlan(db *storage.Database, p *Plan, args []string) ([]stora
 		var out []storage.Tuple
 		seen := make(map[string]bool)
 		for _, cp := range p.CompiledUnion {
-			for _, t := range cp.EvalParallelUnsortedWith(db, args, workers) {
+			var tuples []storage.Tuple
+			if pdb != nil {
+				tuples = cp.EvalShardedUnsortedWith(pdb, args, workers)
+			} else {
+				tuples = cp.EvalParallelUnsortedWith(db, args, workers)
+			}
+			for _, t := range tuples {
 				if k := t.Key(); !seen[k] {
 					seen[k] = true
 					out = append(out, t)
@@ -859,7 +955,16 @@ func (e *Engine) evalPlan(db *storage.Database, p *Plan, args []string) ([]stora
 	case PlanInverseProgram:
 		var derived []storage.Tuple
 		if p.CompiledProgram != nil {
-			tuples, fst, err := p.CompiledProgram.EvalRelation(db, p.AnswerPred, workers)
+			var (
+				tuples []storage.Tuple
+				fst    datalog.FixpointStats
+				err    error
+			)
+			if pdb != nil {
+				tuples, fst, err = p.CompiledProgram.EvalRelationSharded(pdb, p.AnswerPred, workers)
+			} else {
+				tuples, fst, err = p.CompiledProgram.EvalRelation(db, p.AnswerPred, workers)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Sharded-engine tests: an engine built with Options.Shards must answer
+// exactly like its flat twin under every strategy, on frozen and live
+// engines alike, and the partitioned serving twins must stay tuple-identical
+// to the flat sides across update batches — the physical layout may never
+// leak into answers.
+
+// flatEqualsPartitioned asserts a partitioned database holds exactly the
+// flat database's relations the partitioning mirrors (the flat side may
+// have extra predicates only if the twin was built before they appeared —
+// here we require full agreement).
+func flatEqualsPartitioned(t *testing.T, label string, db *storage.Database, pdb *storage.PartitionedDatabase) {
+	t.Helper()
+	flat := pdb.Flatten()
+	for _, pred := range db.Predicates() {
+		fr, pr := db.Relation(pred), flat.Relation(pred)
+		if pr == nil {
+			t.Fatalf("%s: predicate %s missing from partitioned twin", label, pred)
+		}
+		if !storage.TuplesEqual(fr.Tuples(), pr.Tuples()) {
+			t.Fatalf("%s: predicate %s diverges between flat and partitioned twin", label, pred)
+		}
+	}
+	for _, pred := range flat.Predicates() {
+		if db.Relation(pred) == nil {
+			t.Fatalf("%s: partitioned twin has extra predicate %s", label, pred)
+		}
+	}
+}
+
+// TestShardedEngineDifferential: frozen engines, every strategy, randomized
+// chain workloads — the sharded engine's answers must match the flat one's.
+func TestShardedEngineDifferential(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(0x5AAD))
+	strategies := Strategies()
+	for trial := 0; trial < trials; trial++ {
+		const chainLen = 3
+		base := workload.ChainDatabase(rng, chainLen, true, 30+rng.Intn(60), 25)
+		views := workload.ChainViews(rng, chainLen, true, workload.DefaultViewSpec(3+rng.Intn(3)))
+		q := workload.ChainQuery(chainLen, true)
+		strat := strategies[trial%len(strategies)]
+		flat, err := NewFromBase(base, views, Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("trial %d (%s): flat: %v", trial, strat, err)
+		}
+		shards := 2 + rng.Intn(5)
+		sharded, err := NewFromBase(base, views, Options{
+			Strategy:    strat,
+			Shards:      shards,
+			EvalWorkers: 1 + rng.Intn(3),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s): sharded: %v", trial, strat, err)
+		}
+		if sharded.Partitioned() == nil || sharded.Partitioned().NumShards() != shards {
+			t.Fatalf("trial %d (%s): Partitioned() missing or wrong shard count", trial, strat)
+		}
+		flatEqualsPartitioned(t, fmt.Sprintf("trial %d (%s)", trial, strat), sharded.Database(), sharded.Partitioned())
+		want, err := flat.Answer(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): flat answer: %v", trial, strat, err)
+		}
+		got, err := sharded.Answer(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): sharded answer: %v", trial, strat, err)
+		}
+		if !storage.TuplesEqual(got, want) {
+			t.Fatalf("trial %d (%s, %d shards): sharded answers diverge\n  sharded: %v\n  flat:    %v",
+				trial, strat, shards, got, want)
+		}
+	}
+}
+
+// TestShardedEnginePrepared: point-lookup streams through Prepare/Exec must
+// agree between the flat and sharded engines for every binding.
+func TestShardedEnginePrepared(t *testing.T) {
+	base, views := testBase(t)
+	q := cq.MustParseQuery("q(Y) :- r(a,Z), s(Z,Y)")
+	flat, err := NewFromBase(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewFromBase(base, views, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpq, err := flat.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spq, err := sharded.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arg := range []string{"a", "b", "c", "nope"} {
+		want, err := fpq.Exec(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spq.Exec(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !storage.TuplesEqual(got, want) {
+			t.Fatalf("arg %q: sharded %v, flat %v", arg, got, want)
+		}
+	}
+}
+
+// TestShardedLiveEngineDifferential drives the same randomized update
+// streams through a flat and a sharded live engine: every answer and every
+// serving side (flat and partitioned twin alike) must agree after each
+// batch.
+func TestShardedLiveEngineDifferential(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(0x51FE))
+	const chainLen = 3
+	q := workload.ChainQuery(chainLen, true)
+	strategies := Strategies()
+	for trial := 0; trial < trials; trial++ {
+		base := workload.ChainDatabase(rng, chainLen, true, 30+rng.Intn(60), 25)
+		views := workload.ChainViews(rng, chainLen, true, workload.DefaultViewSpec(3+rng.Intn(3)))
+		strat := strategies[trial%len(strategies)]
+		flat, err := NewFromBase(base, views, Options{Strategy: strat, LiveUpdates: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s): flat: %v", trial, strat, err)
+		}
+		shards := 2 + rng.Intn(5)
+		sharded, err := NewFromBase(base, views, Options{
+			Strategy:    strat,
+			LiveUpdates: true,
+			Shards:      shards,
+			EvalWorkers: 1 + rng.Intn(3),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s): sharded: %v", trial, strat, err)
+		}
+		for batch := 0; batch < 1+rng.Intn(4); batch++ {
+			upd := make(map[string][]storage.Tuple)
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				pred := fmt.Sprintf("p%d", 1+rng.Intn(chainLen))
+				tup := storage.Tuple{fmt.Sprintf("c%d", rng.Intn(25)), fmt.Sprintf("c%d", rng.Intn(25))}
+				upd[pred] = append(upd[pred], tup)
+			}
+			if err := flat.ApplyBatch(upd); err != nil {
+				t.Fatalf("trial %d (%s) batch %d: flat: %v", trial, strat, batch, err)
+			}
+			if err := sharded.ApplyBatch(upd); err != nil {
+				t.Fatalf("trial %d (%s) batch %d: sharded: %v", trial, strat, batch, err)
+			}
+			want, err := flat.Answer(q)
+			if err != nil {
+				t.Fatalf("trial %d (%s) batch %d: flat answer: %v", trial, strat, batch, err)
+			}
+			got, err := sharded.Answer(q)
+			if err != nil {
+				t.Fatalf("trial %d (%s) batch %d: sharded answer: %v", trial, strat, batch, err)
+			}
+			if !storage.TuplesEqual(got, want) {
+				t.Fatalf("trial %d (%s, %d shards) batch %d: answers diverge\n  sharded: %v\n  flat:    %v",
+					trial, strat, shards, batch, got, want)
+			}
+			// Both serving sides' partitioned twins must mirror their flat
+			// sides exactly (the inactive side too: applySide updates both).
+			l := sharded.live
+			for i := 0; i < 2; i++ {
+				flatEqualsPartitioned(t, fmt.Sprintf("trial %d (%s) batch %d side %d", trial, strat, batch, i),
+					l.sides[i], l.psides[i])
+			}
+		}
+	}
+}
+
+// TestShardedLiveEngineRace runs concurrent readers over the partitioned
+// serving twins — each Answer routes probes to shard-local indexes — while
+// a serialized writer streams InsertBatch updates that repartition into the
+// same shards. The disconnected query makes torn reads visible (any answer
+// set matching no consistent state), and -race checks that shard routing
+// never lets a reader share mutable state with the writer.
+func TestShardedLiveEngineRace(t *testing.T) {
+	base := storage.NewDatabase()
+	base.Insert("r", storage.Tuple{"x0", "k"})
+	base.Insert("s", storage.Tuple{"k", "y0"})
+	views, err := cq.ParseViews(`
+		vr(A,B) :- r(A,B).
+		vs(A,B) :- s(A,B).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParseQuery("q(X,Y) :- r(X,U), s(W,Y)")
+
+	const nBatches = 6
+	states := make([]map[string]bool, nBatches+1)
+	for k := 0; k <= nBatches; k++ {
+		states[k] = make(map[string]bool)
+		for i := 0; i <= k; i++ {
+			for j := 0; j <= k; j++ {
+				states[k][storage.Tuple{fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", j)}.Key()] = true
+			}
+		}
+	}
+	matchesState := func(answers []storage.Tuple) int {
+		for k, st := range states {
+			if len(answers) != len(st) {
+				continue
+			}
+			ok := true
+			for _, a := range answers {
+				if !st[a.Key()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return k
+			}
+		}
+		return -1
+	}
+
+	for _, strat := range []Strategy{EquivalentFirst, InverseRules} {
+		e, err := NewFromBase(base, views, Options{Strategy: strat, LiveUpdates: true, Shards: 4, EvalWorkers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if ans, err := e.Answer(q); err != nil || matchesState(ans) != 0 {
+			t.Fatalf("%s: initial answer %v (err %v)", strat, ans, err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					got, err := e.Answer(q)
+					if err != nil {
+						t.Errorf("%s reader %d: %v", strat, g, err)
+						return
+					}
+					if matchesState(got) < 0 {
+						t.Errorf("%s reader %d: torn answer set (%d tuples): %v", strat, g, len(got), got)
+						return
+					}
+				}
+			}(g)
+		}
+		for k := 1; k <= nBatches; k++ {
+			err := e.ApplyBatch(map[string][]storage.Tuple{
+				"r": {{fmt.Sprintf("x%d", k), "k"}},
+				"s": {{"k", fmt.Sprintf("y%d", k)}},
+			})
+			if err != nil {
+				t.Errorf("%s batch %d: %v", strat, k, err)
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		final, err := e.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchesState(final) != nBatches {
+			t.Fatalf("%s: final state %v, want state %d", strat, final, nBatches)
+		}
+	}
+}

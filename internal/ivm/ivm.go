@@ -31,6 +31,14 @@ type Options struct {
 	// Workers fans each propagation round's delta-plan executions across
 	// goroutines; 0 or 1 propagates sequentially.
 	Workers int
+	// Shards hash-partitions the maintained database into this many shards
+	// and runs every propagation round per-shard (datalog.ApplyInsertsSharded):
+	// each task joins one shard's slice of the delta, probes on partition
+	// columns stay shard-local, and new derivations are routed to their
+	// owner shards at round barriers. 0 or 1 maintains the flat database
+	// directly. The flat database (Database) remains the source of truth
+	// for reads either way.
+	Shards int
 }
 
 // Maintainer delta-maintains the extents of a view set over a base
@@ -40,6 +48,7 @@ type Maintainer struct {
 	viewNames map[string]bool
 	cp        *datalog.CompiledProgram
 	db        *storage.Database // base relations + maintained extents
+	pdb       *storage.PartitionedDatabase // hash-partitioned twin of db when Options.Shards > 1
 	opt       Options
 
 	batches      uint64
@@ -106,7 +115,15 @@ func New(base *storage.Database, views []*cq.Query, opt Options) (*Maintainer, e
 		return nil, fmt.Errorf("ivm: materialize: %w", err)
 	}
 	db.BuildIndexes()
-	return &Maintainer{views: views, viewNames: names, cp: cp, db: db, opt: opt}, nil
+	m := &Maintainer{views: views, viewNames: names, cp: cp, db: db, opt: opt}
+	if opt.Shards > 1 {
+		// Partition the materialized state (base + extents) under the
+		// catalog's probe-column policy; the mirror is the propagation
+		// state from here on, the flat db is kept in sync by inserts.
+		m.pdb = storage.Partition(db, opt.Shards, cost.NewCatalog(db).PartitionColumns(nil))
+		m.pdb.BuildIndexes()
+	}
+	return m, nil
 }
 
 // Views returns the maintained view definitions.
@@ -121,13 +138,34 @@ func (m *Maintainer) IsView(pred string) bool { return m.viewNames[pred] }
 // concurrently with ApplyBatch.
 func (m *Maintainer) Database() *storage.Database { return m.db }
 
+// Partitioned returns the hash-partitioned twin of the maintained database,
+// or nil when Options.Shards <= 1. When present it holds exactly the same
+// tuples as Database (both are updated by every batch) and carries the same
+// read/mutation restrictions.
+func (m *Maintainer) Partitioned() *storage.PartitionedDatabase { return m.pdb }
+
 // ApplyBatch inserts base facts — across any number of predicates — and
 // delta-maintains every extent. Inserts into view predicates are rejected,
 // and the batch is validated before anything is mutated. Tuples already
 // present count as duplicates and propagate nothing.
 func (m *Maintainer) ApplyBatch(updates map[string][]storage.Tuple) (*BatchResult, error) {
 	start := time.Now()
-	fresh, derived, stats, err := m.cp.ApplyInserts(m.db, updates, m.opt.Workers)
+	var (
+		fresh, derived map[string][]storage.Tuple
+		stats          datalog.FixpointStats
+		err            error
+	)
+	if m.pdb != nil {
+		// Propagate per-shard on the partitioned mirror, then replay the
+		// batch's net effect (fresh base facts + derived extent tuples)
+		// into the flat database — plain inserts, no second propagation.
+		fresh, derived, stats, err = m.cp.ApplyInsertsSharded(m.pdb, updates, m.opt.Workers)
+		if err == nil {
+			err = m.replayFlat(fresh, derived)
+		}
+	} else {
+		fresh, derived, stats, err = m.cp.ApplyInserts(m.db, updates, m.opt.Workers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ivm: %w", err)
 	}
@@ -145,6 +183,28 @@ func (m *Maintainer) ApplyBatch(updates map[string][]storage.Tuple) (*BatchResul
 	m.rounds += uint64(stats.Iterations)
 	m.maintainTime += res.Duration
 	return res, nil
+}
+
+// replayFlat inserts a sharded batch's new base and extent tuples into the
+// flat database, keeping the two representations tuple-identical. The
+// sharded propagation already computed the consequences, so this is pure
+// insertion work; frozen relations maintain their indexes incrementally.
+func (m *Maintainer) replayFlat(batches ...map[string][]storage.Tuple) error {
+	for _, batch := range batches {
+		for pred, tuples := range batch {
+			if len(tuples) == 0 {
+				continue
+			}
+			rel, err := m.db.Ensure(pred, len(tuples[0]))
+			if err != nil {
+				return err
+			}
+			for _, t := range tuples {
+				rel.Insert(t)
+			}
+		}
+	}
+	return nil
 }
 
 // Stats snapshots the maintainer's lifetime counters.

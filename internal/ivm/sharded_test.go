@@ -1,0 +1,82 @@
+package ivm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestMaintainerSharded: a sharded maintainer (per-shard delta propagation
+// on the partitioned mirror) must report the same batch results and keep
+// both its representations — the flat database and the partitioned twin —
+// tuple-identical to a flat maintainer fed the same stream.
+func TestMaintainerSharded(t *testing.T) {
+	streams := 25
+	if testing.Short() {
+		streams = 8
+	}
+	rng := rand.New(rand.NewSource(0x5D1))
+	const chainLen = 3
+	for stream := 0; stream < streams; stream++ {
+		base := workload.ChainDatabase(rng, chainLen, true, 20+rng.Intn(40), 20)
+		views := workload.ChainViews(rng, chainLen, true, workload.DefaultViewSpec(2+rng.Intn(3)))
+		flat, err := New(base, views, Options{})
+		if err != nil {
+			t.Fatalf("stream %d: flat: %v", stream, err)
+		}
+		shards := 2 + rng.Intn(5)
+		sharded, err := New(base, views, Options{Shards: shards, Workers: 1 + rng.Intn(3)})
+		if err != nil {
+			t.Fatalf("stream %d: sharded: %v", stream, err)
+		}
+		if sharded.Partitioned() == nil || sharded.Partitioned().NumShards() != shards {
+			t.Fatalf("stream %d: Partitioned() missing or wrong shard count", stream)
+		}
+		if flat.Partitioned() != nil {
+			t.Fatalf("stream %d: flat maintainer grew a partitioned twin", stream)
+		}
+		for batch := 0; batch < 1+rng.Intn(4); batch++ {
+			upd := make(map[string][]storage.Tuple)
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				pred := fmt.Sprintf("p%d", 1+rng.Intn(chainLen))
+				upd[pred] = append(upd[pred], storage.Tuple{
+					fmt.Sprintf("c%d", rng.Intn(20)), fmt.Sprintf("c%d", rng.Intn(20))})
+			}
+			fres, err := flat.ApplyBatch(upd)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: flat: %v", stream, batch, err)
+			}
+			sres, err := sharded.ApplyBatch(upd)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: sharded: %v", stream, batch, err)
+			}
+			for pred := range fres.BaseInserted {
+				if len(sres.BaseInserted[pred]) != len(fres.BaseInserted[pred]) {
+					t.Fatalf("stream %d batch %d: fresh %s: sharded %d, flat %d",
+						stream, batch, pred, len(sres.BaseInserted[pred]), len(fres.BaseInserted[pred]))
+				}
+			}
+			for pred := range fres.ExtentDelta {
+				if !storage.TuplesEqual(
+					storage.SortTuples(append([]storage.Tuple(nil), sres.ExtentDelta[pred]...)),
+					storage.SortTuples(append([]storage.Tuple(nil), fres.ExtentDelta[pred]...))) {
+					t.Fatalf("stream %d batch %d: extent delta %s diverges", stream, batch, pred)
+				}
+			}
+			// Flat db, partitioned twin and the reference maintainer must
+			// all hold the same tuples after the batch.
+			want := flat.Database()
+			for _, cand := range []*storage.Database{sharded.Database(), sharded.Partitioned().Flatten()} {
+				for _, pred := range want.Predicates() {
+					cr := cand.Relation(pred)
+					if cr == nil || !storage.TuplesEqual(cr.Tuples(), want.Relation(pred).Tuples()) {
+						t.Fatalf("stream %d batch %d: predicate %s diverges from flat maintainer", stream, batch, pred)
+					}
+				}
+			}
+		}
+	}
+}

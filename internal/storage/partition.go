@@ -1,0 +1,329 @@
+package storage
+
+// Physically partitioned relations. A PartitionedRelation hash-partitions
+// its tuples by one column into P independent shards, each an ordinary
+// Relation with its own seen set and per-column hash indexes. Insert,
+// Contains and index lookups therefore touch exactly one shard: concurrent
+// readers of a frozen partitioned database never share index maps across
+// shards, and a probe on the partition column resolves against an index
+// 1/P-th the size of the monolithic one — the cache-locality and
+// contention-freedom the sharded evaluator (internal/datalog) exploits.
+//
+// The partition column is a physical-design choice, picked per relation by
+// the catalog's probe-column statistics (cost.Catalog.PartitionColumn):
+// correctness never depends on it, only locality — a probe on any other
+// column simply broadcasts across the shards.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ShardOf routes a column value to its owning shard: FNV-1a over the value,
+// reduced modulo the shard count. Every layer — storage inserts, the
+// sharded executor's probe routing and its exchange (repartition) operators
+// — must agree on this function, so it is the package's single router.
+func ShardOf(val string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(val); i++ {
+		h ^= uint64(val[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// PartitionedRelation is a named tuple set hash-partitioned by one column
+// into independent shards. Each shard is an ordinary Relation: it keeps its
+// own dedup set and column indexes, so shard-local operations never touch
+// (or contend with) the other shards.
+type PartitionedRelation struct {
+	name    string
+	arity   int
+	partCol int
+	shards  []*Relation
+}
+
+// NewPartitionedRelation creates an empty relation of the given arity,
+// partitioned by column partCol into shards parts (minimum 1).
+func NewPartitionedRelation(name string, arity, partCol, shards int) *PartitionedRelation {
+	if shards < 1 {
+		shards = 1
+	}
+	if partCol < 0 || partCol >= arity {
+		partCol = 0
+	}
+	pr := &PartitionedRelation{name: name, arity: arity, partCol: partCol, shards: make([]*Relation, shards)}
+	for i := range pr.shards {
+		pr.shards[i] = NewRelation(name, arity)
+	}
+	return pr
+}
+
+// Name returns the relation name.
+func (pr *PartitionedRelation) Name() string { return pr.name }
+
+// Arity returns the tuple width.
+func (pr *PartitionedRelation) Arity() int { return pr.arity }
+
+// PartitionColumn returns the column tuples are hash-partitioned by.
+func (pr *PartitionedRelation) PartitionColumn() int { return pr.partCol }
+
+// NumShards returns the shard count.
+func (pr *PartitionedRelation) NumShards() int { return len(pr.shards) }
+
+// Shard returns shard i. The shard is a live view, not a copy: mutations
+// carry the same single-writer requirement as Relation.
+func (pr *PartitionedRelation) Shard(i int) *Relation { return pr.shards[i] }
+
+// Owner returns the shard that owns (or would own) the tuple. Nullary
+// tuples all live in shard 0.
+func (pr *PartitionedRelation) Owner(t Tuple) *Relation {
+	if pr.arity == 0 {
+		return pr.shards[0]
+	}
+	return pr.shards[ShardOf(t[pr.partCol], len(pr.shards))]
+}
+
+// OwnerOf returns the shard owning tuples whose partition column equals val
+// — the probe-routing primitive of the sharded executor.
+func (pr *PartitionedRelation) OwnerOf(val string) *Relation {
+	return pr.shards[ShardOf(val, len(pr.shards))]
+}
+
+// Len returns the number of distinct tuples across all shards.
+func (pr *PartitionedRelation) Len() int {
+	n := 0
+	for _, s := range pr.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Insert routes the tuple to its owner shard, reporting whether it was new.
+// Like Relation.Insert it panics on an arity mismatch and carries the
+// single-writer requirement; shard-local indexes are maintained
+// incrementally when built (see Relation.Insert).
+func (pr *PartitionedRelation) Insert(t Tuple) bool {
+	if len(t) != pr.arity {
+		panic(fmt.Sprintf("storage: relation %s/%d: inserting tuple of width %d", pr.name, pr.arity, len(t)))
+	}
+	return pr.Owner(t).Insert(t)
+}
+
+// Contains reports whether the relation holds the tuple (one shard probe).
+func (pr *PartitionedRelation) Contains(t Tuple) bool { return pr.Owner(t).Contains(t) }
+
+// ContainsKeyed is Contains with the tuple's canonical key already computed
+// — hot dedup loops route by the tuple and test by the key without
+// re-encoding.
+func (pr *PartitionedRelation) ContainsKeyed(t Tuple, key string) bool {
+	return pr.Owner(t).ContainsKey(key)
+}
+
+// Tuples returns a fresh slice of all tuples, shard by shard (shard-major
+// order). Unlike Relation.Tuples this allocates; iterate the shards
+// directly in hot paths.
+func (pr *PartitionedRelation) Tuples() []Tuple {
+	out := make([]Tuple, 0, pr.Len())
+	for _, s := range pr.shards {
+		out = append(out, s.Tuples()...)
+	}
+	return out
+}
+
+// BuildIndexes freezes every shard for concurrent reads.
+func (pr *PartitionedRelation) BuildIndexes() {
+	for _, s := range pr.shards {
+		s.BuildIndexes()
+	}
+}
+
+// Frozen reports whether every shard is frozen (see Relation.Frozen).
+func (pr *PartitionedRelation) Frozen() bool {
+	for _, s := range pr.shards {
+		if !s.Frozen() {
+			return false
+		}
+	}
+	return true
+}
+
+// PartitionedDatabase is a collection of hash-partitioned relations keyed
+// by predicate name, all with the same shard count. It is the physical
+// layout the sharded evaluator runs over; Partition builds one from an
+// ordinary Database under a partition-column policy.
+type PartitionedDatabase struct {
+	shards int
+	rels   map[string]*PartitionedRelation
+}
+
+// NewPartitionedDatabase creates an empty database whose relations will be
+// partitioned into shards parts (minimum 1).
+func NewPartitionedDatabase(shards int) *PartitionedDatabase {
+	if shards < 1 {
+		shards = 1
+	}
+	return &PartitionedDatabase{shards: shards, rels: make(map[string]*PartitionedRelation)}
+}
+
+// Partition re-buckets every relation of db into a partitioned database of
+// the given shard count. partCols maps predicates to their partition
+// column (cost.Catalog.PartitionColumn is the usual policy); missing
+// predicates partition by column 0. db is not retained or mutated, and the
+// result is unfrozen — callers freeze with BuildIndexes for concurrent
+// reads, exactly like Database.
+func Partition(db *Database, shards int, partCols map[string]int) *PartitionedDatabase {
+	pdb := NewPartitionedDatabase(shards)
+	for _, pred := range db.Predicates() {
+		rel := db.Relation(pred)
+		pr := NewPartitionedRelation(pred, rel.Arity(), partCols[pred], pdb.shards)
+		if rel.Arity() == 0 {
+			for _, t := range rel.Tuples() {
+				pr.Insert(t)
+			}
+			pdb.rels[pred] = pr
+			continue
+		}
+		// Bucket first, then compact each shard into its own arena: the
+		// rewritten tuples are what make shard-local probes cache-resident
+		// (see internTuples), and the physical payoff of partitioning on this
+		// storage layout.
+		buckets := make([][]Tuple, pdb.shards)
+		for _, t := range rel.Tuples() {
+			s := ShardOf(t[pr.partCol], pdb.shards)
+			buckets[s] = append(buckets[s], t)
+		}
+		for s, bucket := range buckets {
+			for _, t := range internTuples(bucket) {
+				pr.shards[s].Insert(t)
+			}
+		}
+		pdb.rels[pred] = pr
+	}
+	return pdb
+}
+
+// internTuples rewrites a shard's tuples so every column string points into
+// one contiguous per-shard byte arena and every tuple header lives in one
+// flat backing array. A monolithic database accretes its strings in load
+// order, scattering a relation's bytes across the heap; after hash
+// bucketing, a shard's candidate loop would still chase those scattered
+// bytes and partitioning would buy no locality. Compacting at Partition
+// time makes a shard's entire probe working set — index map, tuple headers,
+// string bytes — proportional to 1/P and contiguous, which is where the
+// sharded executor's speedup comes from on cache-bound joins. Values are
+// deduplicated while interning, so repeated constants share one span.
+func internTuples(tuples []Tuple) []Tuple {
+	if len(tuples) == 0 {
+		return nil
+	}
+	type span struct{ off, end int }
+	var b strings.Builder
+	spans := make(map[string]span, len(tuples))
+	for _, t := range tuples {
+		for _, v := range t {
+			if _, ok := spans[v]; !ok {
+				off := b.Len()
+				b.WriteString(v)
+				spans[v] = span{off, b.Len()}
+			}
+		}
+	}
+	arena := b.String()
+	arity := len(tuples[0])
+	flat := make([]string, len(tuples)*arity)
+	out := make([]Tuple, len(tuples))
+	for i, t := range tuples {
+		nt := flat[i*arity : (i+1)*arity : (i+1)*arity]
+		for j, v := range t {
+			sp := spans[v]
+			nt[j] = arena[sp.off:sp.end]
+		}
+		out[i] = nt
+	}
+	return out
+}
+
+// NumShards returns the shard count every relation uses.
+func (pdb *PartitionedDatabase) NumShards() int { return pdb.shards }
+
+// Relation returns the partitioned relation for pred, or nil if absent.
+func (pdb *PartitionedDatabase) Relation(pred string) *PartitionedRelation { return pdb.rels[pred] }
+
+// Ensure returns the relation for pred, creating it with the given arity
+// and partition column if absent. It returns an error if the relation
+// exists with another arity; an existing relation keeps its partition
+// column (repartitioning is a rebuild, not an Ensure).
+func (pdb *PartitionedDatabase) Ensure(pred string, arity, partCol int) (*PartitionedRelation, error) {
+	if pr, ok := pdb.rels[pred]; ok {
+		if pr.arity != arity {
+			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, pr.arity, arity)
+		}
+		return pr, nil
+	}
+	pr := NewPartitionedRelation(pred, arity, partCol, pdb.shards)
+	pdb.rels[pred] = pr
+	return pr, nil
+}
+
+// Insert adds a tuple under pred, creating the relation (partitioned by
+// column 0) on first use.
+func (pdb *PartitionedDatabase) Insert(pred string, t Tuple) error {
+	pr, err := pdb.Ensure(pred, len(t), 0)
+	if err != nil {
+		return err
+	}
+	pr.Insert(t)
+	return nil
+}
+
+// Predicates returns the relation names in sorted order.
+func (pdb *PartitionedDatabase) Predicates() []string {
+	out := make([]string, 0, len(pdb.rels))
+	for p := range pdb.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildIndexes freezes every shard of every relation for concurrent reads.
+func (pdb *PartitionedDatabase) BuildIndexes() {
+	for _, pr := range pdb.rels {
+		pr.BuildIndexes()
+	}
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (pdb *PartitionedDatabase) TotalTuples() int {
+	n := 0
+	for _, pr := range pdb.rels {
+		n += pr.Len()
+	}
+	return n
+}
+
+// Flatten merges the shards back into an ordinary Database — the logical
+// contents the partitioning physically re-bucketed. Differential tests
+// compare a flattened partitioned database against its unpartitioned twin.
+func (pdb *PartitionedDatabase) Flatten() *Database {
+	out := NewDatabase()
+	for pred, pr := range pdb.rels {
+		nr := NewRelation(pred, pr.arity)
+		for _, s := range pr.shards {
+			for _, t := range s.Tuples() {
+				nr.Insert(t)
+			}
+		}
+		out.rels[pred] = nr
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestShardOfStable(t *testing.T) {
+	if ShardOf("anything", 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+	if ShardOf("x", 0) != 0 {
+		t.Fatal("degenerate shard count must clamp to 0")
+	}
+	for _, shards := range []int{2, 3, 8} {
+		for i := 0; i < 200; i++ {
+			v := fmt.Sprintf("v%d", i)
+			s := ShardOf(v, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%q,%d) = %d out of range", v, shards, s)
+			}
+			if s != ShardOf(v, shards) {
+				t.Fatalf("ShardOf(%q,%d) unstable", v, shards)
+			}
+		}
+	}
+}
+
+func TestPartitionedRelationRouting(t *testing.T) {
+	pr := NewPartitionedRelation("r", 2, 1, 4)
+	if pr.PartitionColumn() != 1 || pr.NumShards() != 4 {
+		t.Fatalf("partCol=%d shards=%d", pr.PartitionColumn(), pr.NumShards())
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	for i := 0; i < 500; i++ {
+		tup := Tuple{fmt.Sprint(rng.Intn(100)), fmt.Sprint(rng.Intn(100))}
+		if pr.Insert(tup) {
+			n++
+		}
+		if !pr.Contains(tup) {
+			t.Fatalf("inserted tuple %v not contained", tup)
+		}
+		if !pr.ContainsKeyed(tup, tup.Key()) {
+			t.Fatalf("ContainsKeyed miss for %v", tup)
+		}
+	}
+	if pr.Len() != n {
+		t.Fatalf("Len=%d want %d distinct", pr.Len(), n)
+	}
+	// Every tuple must live in exactly the shard its partition value hashes to.
+	for i := 0; i < pr.NumShards(); i++ {
+		for _, tup := range pr.Shard(i).Tuples() {
+			if ShardOf(tup[1], 4) != i {
+				t.Fatalf("tuple %v in shard %d, owner %d", tup, i, ShardOf(tup[1], 4))
+			}
+		}
+	}
+	if got := len(pr.Tuples()); got != n {
+		t.Fatalf("Tuples len=%d want %d", got, n)
+	}
+	// Duplicate insert routes to the same shard and is rejected there.
+	dup := pr.Shard(0).Tuples()
+	if len(dup) > 0 && pr.Insert(dup[0].Clone()) {
+		t.Fatal("duplicate insert reported new")
+	}
+}
+
+func TestPartitionedRelationDegenerateColumn(t *testing.T) {
+	pr := NewPartitionedRelation("r", 2, 5, 3) // out-of-range column clamps to 0
+	if pr.PartitionColumn() != 0 {
+		t.Fatalf("partCol=%d want 0", pr.PartitionColumn())
+	}
+	pr.Insert(Tuple{"a", "b"})
+	if pr.OwnerOf("a") != pr.Owner(Tuple{"a", "b"}) {
+		t.Fatal("OwnerOf and Owner disagree")
+	}
+}
+
+func TestPartitionedRelationInsertPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	NewPartitionedRelation("r", 2, 0, 2).Insert(Tuple{"a"})
+}
+
+func TestPartitionFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := NewDatabase()
+	for i := 0; i < 400; i++ {
+		db.Insert("e", Tuple{fmt.Sprint(rng.Intn(50)), fmt.Sprint(rng.Intn(50))})
+		db.Insert("u", Tuple{fmt.Sprint(rng.Intn(30))})
+	}
+	pdb := Partition(db, 5, map[string]int{"e": 1})
+	if pdb.NumShards() != 5 {
+		t.Fatalf("shards=%d", pdb.NumShards())
+	}
+	if pdb.Relation("e").PartitionColumn() != 1 || pdb.Relation("u").PartitionColumn() != 0 {
+		t.Fatal("partition-column policy not applied")
+	}
+	if pdb.TotalTuples() != db.TotalTuples() {
+		t.Fatalf("total %d want %d", pdb.TotalTuples(), db.TotalTuples())
+	}
+	flat := pdb.Flatten()
+	for _, pred := range db.Predicates() {
+		if !TuplesEqual(flat.Relation(pred).Tuples(), db.Relation(pred).Tuples()) {
+			t.Fatalf("flatten mismatch for %s", pred)
+		}
+	}
+	if got, want := fmt.Sprint(pdb.Predicates()), fmt.Sprint(db.Predicates()); got != want {
+		t.Fatalf("predicates %s want %s", got, want)
+	}
+}
+
+func TestPartitionedDatabaseEnsureAndFreeze(t *testing.T) {
+	pdb := NewPartitionedDatabase(3)
+	if _, err := pdb.Ensure("r", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pdb.Ensure("r", 3, 0); err == nil {
+		t.Fatal("arity conflict not reported")
+	}
+	if err := pdb.Insert("r", Tuple{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pdb.Insert("s", Tuple{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	pr := pdb.Relation("r")
+	if pr.Frozen() {
+		t.Fatal("unfrozen relation reports frozen")
+	}
+	pdb.BuildIndexes()
+	if !pr.Frozen() || !pdb.Relation("s").Frozen() {
+		t.Fatal("BuildIndexes did not freeze every shard")
+	}
+	// Maintained insert keeps the shards frozen.
+	pr.Insert(Tuple{"x", "y"})
+	if !pr.Frozen() {
+		t.Fatal("maintained insert unfroze the relation")
+	}
+	if pdb.Relation("missing") != nil {
+		t.Fatal("missing relation not nil")
+	}
+}
+
+func TestCloneKeepsFrozenState(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("r", Tuple{"a", "b"})
+	db.Insert("s", Tuple{"c"})
+	db.Relation("r").BuildIndexes()
+	clone := db.Clone()
+	if !clone.Relation("r").Frozen() {
+		t.Fatal("clone of frozen relation must be frozen")
+	}
+	if clone.Relation("s").Frozen() {
+		t.Fatal("clone of unfrozen relation must stay unfrozen")
+	}
+	// The clone is independent: inserting into it leaves the source alone.
+	clone.Insert("r", Tuple{"x", "y"})
+	if db.Relation("r").Len() != 1 {
+		t.Fatal("clone shares storage with source")
+	}
+	if pos, ok := clone.Relation("r").LookupPositions(0, "x"); !ok || len(pos) != 1 {
+		t.Fatal("cloned frozen relation must serve maintained index probes")
+	}
+}

@@ -295,13 +295,18 @@ func (db *Database) BuildIndexes() {
 	}
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database. Relations that were frozen
+// are re-frozen in the copy, so cloning a serving database never silently
+// demotes indexed probes back to scans.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
 	for p, r := range db.rels {
 		nr := NewRelation(p, r.arity)
 		for _, t := range r.tuples {
 			nr.Insert(t)
+		}
+		if r.Frozen() {
+			nr.BuildIndexes()
 		}
 		out.rels[p] = nr
 	}
@@ -334,8 +339,9 @@ func TuplesEqual(a, b []Tuple) bool {
 		seen[t.Key()]++
 	}
 	for _, t := range b {
-		seen[t.Key()]--
-		if seen[t.Key()] < 0 {
+		k := t.Key()
+		seen[k]--
+		if seen[k] < 0 {
 			return false
 		}
 	}
