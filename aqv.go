@@ -307,6 +307,53 @@ var NewMaintainer = ivm.New
 // built without EngineOptions.LiveUpdates.
 var ErrEngineNotLive = engine.ErrNotLive
 
+// Resource governance (see internal/engine and internal/datalog): typed
+// errors, per-request budgets and admission control for the serving
+// boundary. All are opt-in; an engine with zero Budget and MaxConcurrent 0
+// behaves exactly as before.
+type (
+	// EngineBudget bounds one request: a wall-clock deadline plus caps on
+	// result rows, derived tuples and fixpoint rounds. Set a default in
+	// EngineOptions.Budget or pass one per call (AnswerBudget, ExecBudget,
+	// ApplyBatchBudget).
+	EngineBudget = engine.Budget
+	// AdmissionStats counts admission-control outcomes (EngineStats.Admission).
+	AdmissionStats = engine.AdmissionStats
+	// OverloadedError is the concrete load-shed error; its RetryAfter field
+	// hints when to retry. Matches ErrEngineOverloaded under errors.Is.
+	OverloadedError = engine.OverloadedError
+	// InternalError is the concrete panic-isolation error, carrying the
+	// recovered panic value and stack. Matches ErrEngineInternal.
+	InternalError = engine.InternalError
+	// QueryError wraps an evaluation failure with the partial-progress
+	// fixpoint stats at the moment the run stopped.
+	QueryError = engine.QueryError
+	// EvalLimits bounds one compiled-executor evaluation (the datalog-level
+	// form of EngineBudget, for callers using CompiledPlan/CompiledProgram
+	// Ctx methods directly).
+	EvalLimits = datalog.Limits
+	// ArityError reports a tuple or request of the wrong width at the
+	// storage boundary.
+	ArityError = storage.ArityError
+)
+
+var (
+	// ErrCanceled reports that a request's context was canceled or its
+	// deadline expired mid-evaluation. Match with errors.Is.
+	ErrCanceled = engine.ErrCanceled
+	// ErrBudgetExceeded reports that a request exhausted an explicit
+	// resource budget. Match with errors.Is.
+	ErrBudgetExceeded = engine.ErrBudgetExceeded
+	// ErrEngineOverloaded reports that admission control shed the request.
+	ErrEngineOverloaded = engine.ErrOverloaded
+	// ErrEngineInternal reports an evaluation panic converted to an error
+	// at the engine boundary.
+	ErrEngineInternal = engine.ErrInternal
+	// ErrArityMismatch reports a caller-supplied arity error at the serving
+	// boundary (wrong Exec argument count, parameterized plan in Eval).
+	ErrArityMismatch = engine.ErrArityMismatch
+)
+
 // Certain answers (see internal/certain).
 type (
 	// CertainReport summarises a certain-answer comparison.

@@ -6,8 +6,9 @@
 //	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse|auto]
 //	    [-data facts.dl] [-all] [-partial] [-stats]
 //	aqv -queries stream.dl -views views.dl [-data facts.dl] [-algo ...]
-//	    [-cache N] [-prepare] [-stats]
+//	    [-cache N] [-prepare] [-stats] [-timeout D] [-max-derived N] [-max-concurrent N]
 //	aqv -stream mixed.dl -views views.dl [-data facts.dl] [-algo ...] [-stats]
+//	    [-timeout D] [-max-derived N] [-max-concurrent N]
 //
 // The query file holds one rule; the views file holds one rule per view.
 // The optional data file holds ground facts for the *base* relations; view
@@ -53,6 +54,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	aqv "repro"
 	"repro/internal/cq"
@@ -82,9 +84,13 @@ func run(args []string, out *os.File) error {
 	cacheSize := fs.Int("cache", 128, "plan-cache capacity in batch mode")
 	workers := fs.Int("workers", 1, "batch mode: goroutines each evaluation fans its outer join loop across (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "batch/stream mode: hash-partition the serving database into this many shards and evaluate shard-locally (0 or 1 = flat)")
+	timeout := fs.Duration("timeout", 0, "batch/stream mode: per-request deadline; a query or update batch exceeding it fails with a canceled error (0 = none)")
+	maxDerived := fs.Int("max-derived", 0, "batch/stream mode: cap on derived tuples per fixpoint or update propagation (0 = unlimited)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "batch/stream mode: admission-control cap on concurrently executing requests; excess requests queue and overflow is shed (0 = no admission control)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	gov := govOpts{timeout: *timeout, maxDerived: *maxDerived, maxConcurrent: *maxConcurrent}
 	modes := 0
 	for _, p := range []string{*queryPath, *queriesPath, *streamPath} {
 		if p != "" {
@@ -122,10 +128,10 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	if *queriesPath != "" {
-		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *shards, *partial, *prepare, *stats)
+		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *shards, gov, *partial, *prepare, *stats)
 	}
 	if *streamPath != "" {
-		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *shards, *partial, *stats)
+		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *shards, gov, *partial, *stats)
 	}
 
 	q, err := loadQuery(*queryPath)
@@ -319,11 +325,34 @@ func printPlan(out *os.File, p *aqv.EnginePlan) {
 	}
 }
 
+// govOpts carries the resource-governance flags: a per-request deadline, a
+// derived-tuple cap and the admission-control concurrency cap.
+type govOpts struct {
+	timeout       time.Duration
+	maxDerived    int
+	maxConcurrent int
+}
+
+// budget translates the flags to an engine-wide default budget.
+func (g govOpts) budget() aqv.EngineBudget {
+	return aqv.EngineBudget{Deadline: g.timeout, MaxDerivedTuples: g.maxDerived}
+}
+
+// printGovStats reports admission and panic-isolation outcomes under
+// -stats, when governance is active or anything was actually shed.
+func printGovStats(out *os.File, g govOpts, st aqv.EngineStats) {
+	ad := st.Admission
+	if g.maxConcurrent > 0 || ad.Shed > 0 || ad.TimedOut > 0 || st.Panics > 0 {
+		fmt.Fprintf(out, "%% engine: admitted=%d queued=%d shed=%d timed_out=%d canceled=%d panics=%d\n",
+			ad.Admitted, ad.Queued, ad.Shed, ad.TimedOut, ad.Canceled, st.Panics)
+	}
+}
+
 // runBatch answers a stream of query rules through one plan-caching engine,
 // preparing each query against the template cache and executing it under
 // its own constants. Without -data only the plans are printed; with -data
 // each query's answers follow its plan.
-func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, partial, prepare, stats bool) error {
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, gov govOpts, partial, prepare, stats bool) error {
 	queries, err := loadQueries(path)
 	if err != nil {
 		return err
@@ -343,6 +372,8 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		KeepComparisons: true,
 		EvalWorkers:     workers,
 		Shards:          shards,
+		Budget:          gov.budget(),
+		MaxConcurrent:   gov.maxConcurrent,
 	})
 	if err != nil {
 		return err
@@ -382,6 +413,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 				fmt.Fprintf(out, "%% engine: strategy=%s plans=%d plan_time=%v hits=%d\n", s, agg.Plans, agg.PlanTime, agg.Hits)
 			}
 		}
+		printGovStats(out, gov, st)
 	}
 	return nil
 }
@@ -391,7 +423,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 // applies the batch (delta-maintaining the extents) and then answers over
 // the updated snapshot. One statement per line; trailing facts are applied
 // at end of stream.
-func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, partial, stats bool) error {
+func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, gov govOpts, partial, stats bool) error {
 	strategy, err := aqv.ParseStrategy(algo)
 	if err != nil {
 		return err
@@ -407,6 +439,8 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 		EvalWorkers:     workers,
 		Shards:          shards,
 		LiveUpdates:     true,
+		Budget:          gov.budget(),
+		MaxConcurrent:   gov.maxConcurrent,
 	})
 	if err != nil {
 		return err
@@ -492,6 +526,7 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 			st.Hits, st.Misses, st.CacheLen, st.ExecCount, st.ExecTime)
 		fmt.Fprintf(out, "%% engine: update_batches=%d update_tuples=%d delta_derived=%d maintain_time=%v\n",
 			st.UpdateBatches, st.UpdateTuples, st.DeltaDerived, st.MaintainTime)
+		printGovStats(out, gov, st)
 	}
 	return nil
 }

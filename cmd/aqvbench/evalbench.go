@@ -7,11 +7,13 @@ package main
 // evaluator's performance trajectory.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -183,6 +185,24 @@ type EvalBenchReport struct {
 	// Partitioned holds the hash-partitioned scaling sweeps (-scaling):
 	// sharded execution at 1..max shards against the flat evaluator.
 	Partitioned []PartitionedBenchResult `json:"partitioned,omitempty"`
+	// Governance measures the cost of the context-aware execution paths
+	// (-governance): legacy evaluation against the same evaluation with a
+	// live cancellation guard (cancelable context, amortized polling).
+	Governance []GovernanceBenchResult `json:"governance,omitempty"`
+}
+
+// GovernanceBenchResult is one workload's cancellation-guard overhead
+// measurement: the legacy (guard-free) path against the context-aware path
+// carrying a live guard, interleaved in one process. OverheadPct is the
+// governed slowdown in percent; the CI gate requires it under 3%.
+type GovernanceBenchResult struct {
+	Name       string  `json:"name"`
+	Tuples     int     `json:"tuples"`
+	Answers    int     `json:"answers,omitempty"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	GovernedNs float64 `json:"governed_ns_per_op"`
+	// OverheadPct = (GovernedNs/BaselineNs - 1) * 100.
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 type evalWorkload struct {
@@ -876,6 +896,177 @@ func runScalingBench(path string) error {
 			},
 			func(pdb *storage.PartitionedDatabase, w, rep int) error {
 				_, _, _, err := cp.ApplyInsertsSharded(pdb, batches[rep], w)
+				return err
+			}); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runGovernanceBench measures the cancellation-check overhead of the
+// context-aware execution paths and merges the "governance" section into
+// the JSON report at path. Each workload alternates the legacy entry point
+// and its Ctx variant under a live guard (cancelable context that never
+// fires, no budgets) in one process and keeps the best of each side, so
+// the ratio isolates the per-row `tick` and the round-barrier polls from
+// host noise.
+func runGovernanceBench(path string) error {
+	var report EvalBenchReport
+	if path != "-" {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &report); err != nil {
+				return fmt.Errorf("parse existing %s: %w", path, err)
+			}
+		}
+	}
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	if report.Command == "" {
+		report.Command = "aqvbench -governance " + path
+	}
+	report.Governance = nil
+
+	// ctx is cancelable but never canceled: newGuardState sees ctx.Done()
+	// non-nil and arms the guard, so every row pays the real amortized
+	// check — the honest serving-path cost of a request with a deadline.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// measure runs legacy and governed back-to-back `rounds` times (the
+	// side that goes first alternates per round) and reports the median of
+	// the per-round governed/legacy ratios: the two runs of a round share
+	// the host's clock speed, cache and GC state, so slow drift — which on
+	// this workload swings single runs by ±20% — cancels out of each ratio,
+	// and the median discards the rounds where a GC cycle landed on one
+	// side. Best-of on each side independently does not have this property:
+	// it compares a lucky run of one side against a lucky run of the other,
+	// taken under different host states.
+	measure := func(res GovernanceBenchResult, rounds int, legacy, governed func() error) error {
+		// One sample = two consecutive runs from a freshly collected heap:
+		// the forced GC equalizes the allocator state both sides start
+		// from, and summing two runs averages over where the in-run GC
+		// cycles land.
+		time1 := func(f func() error) (float64, error) {
+			runtime.GC()
+			start := time.Now()
+			for i := 0; i < 2; i++ {
+				if err := f(); err != nil {
+					return 0, err
+				}
+			}
+			d := float64(time.Since(start).Nanoseconds()) / 2
+			if d < 1 {
+				d = 1
+			}
+			return d, nil
+		}
+		var ratios, bases, govs []float64
+		for r := 0; r < rounds; r++ {
+			var legNs, govNs float64
+			var err error
+			if r%2 == 0 {
+				if legNs, err = time1(legacy); err == nil {
+					govNs, err = time1(governed)
+				}
+			} else {
+				if govNs, err = time1(governed); err == nil {
+					legNs, err = time1(legacy)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			ratios = append(ratios, govNs/legNs)
+			bases = append(bases, legNs)
+			govs = append(govs, govNs)
+		}
+		median := func(xs []float64) float64 {
+			s := append([]float64(nil), xs...)
+			sort.Float64s(s)
+			return s[len(s)/2]
+		}
+		res.BaselineNs, res.GovernedNs = median(bases), median(govs)
+		res.OverheadPct = (median(ratios) - 1) * 100
+		fmt.Printf("%-12s tuples=%-8d base=%.2fms governed=%.2fms overhead=%+.2f%%\n",
+			res.Name, res.Tuples, res.BaselineNs/1e6, res.GovernedNs/1e6, res.OverheadPct)
+		report.Governance = append(report.Governance, res)
+		return nil
+	}
+
+	// serve_join: the join-heavy serving workload — the guard cost lands on
+	// the per-candidate-row tick in the innermost probe loop.
+	{
+		rng := rand.New(rand.NewSource(91))
+		db := storage.NewDatabase()
+		for i := 0; i < 100000; i++ {
+			db.Insert("p1", storage.Tuple{"w" + fmt.Sprint(rng.Intn(250000)), "x" + fmt.Sprint(rng.Intn(75000))})
+		}
+		for i := 0; i < 40000; i++ {
+			db.Insert("p2", storage.Tuple{"x" + fmt.Sprint(rng.Intn(75000)), "k" + fmt.Sprint(rng.Intn(25000))})
+		}
+		for i := 0; i < 500000; i++ {
+			db.Insert("p3", storage.Tuple{"k" + fmt.Sprint(rng.Intn(25000)), "z" + fmt.Sprint(rng.Intn(1250000))})
+		}
+		q := cq.MustParseQuery("q(Y,Z) :- p1(W,X), p2(X,Y), p3(Y,Z)")
+		db.BuildIndexes()
+		plan := datalog.Compile(q, cost.NewCatalog(db))
+		workers := runtime.GOMAXPROCS(0)
+		res := GovernanceBenchResult{
+			Name:    "serve_join",
+			Tuples:  db.TotalTuples(),
+			Answers: len(plan.EvalParallel(db, workers)),
+		}
+		if err := measure(res, 13,
+			func() error { plan.EvalParallel(db, workers); return nil },
+			func() error {
+				_, err := plan.EvalParallelCtx(ctx, db, nil, workers, datalog.Limits{})
+				return err
+			}); err != nil {
+			return err
+		}
+	}
+
+	// tc_chain: the recursive fixpoint workload — the guard cost lands on
+	// the per-derivation tick plus one poll per round barrier.
+	{
+		rng := rand.New(rand.NewSource(93))
+		edges := storage.NewDatabase()
+		const chain = 400
+		for i := 0; i < chain; i++ {
+			edges.Insert("e", storage.Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+		}
+		for i := 0; i < 200; i++ {
+			from := rng.Intn(chain)
+			edges.Insert("e", storage.Tuple{fmt.Sprint(from), fmt.Sprint(from + 1 + rng.Intn(6))})
+		}
+		prog := datalog.NewProgram(
+			datalog.RuleFromQuery(cq.MustParseQuery("tc(X,Y) :- e(X,Y)")),
+			datalog.RuleFromQuery(cq.MustParseQuery("tc(X,Z) :- tc(X,Y), e(Y,Z)")),
+		)
+		edges.BuildIndexes()
+		cp, err := datalog.CompileProgram(prog, cost.NewCatalog(edges))
+		if err != nil {
+			return err
+		}
+		workers := runtime.GOMAXPROCS(0)
+		res := GovernanceBenchResult{Name: "tc_chain", Tuples: edges.TotalTuples()}
+		if err := measure(res, 13,
+			func() error {
+				_, err := cp.EvalParallel(edges, workers)
+				return err
+			},
+			func() error {
+				_, err := cp.EvalCtx(ctx, edges, workers, datalog.Limits{})
 				return err
 			}); err != nil {
 			return err

@@ -11,6 +11,8 @@
 //	aqvbench -evalbench BENCH_eval.json  # measure the evaluator, write JSON
 //	aqvbench -scaling BENCH_eval.json    # sweep shard counts, merge the
 //	                                     # "partitioned" section into the report
+//	aqvbench -governance BENCH_eval.json # measure cancellation-guard overhead,
+//	                                     # merge the "governance" section
 package main
 
 import (
@@ -35,6 +37,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	evalBench := fs.String("evalbench", "", "measure the evaluator (interp vs compiled cold/warm/parallel) and write machine-readable JSON to this path ('-' = stdout)")
 	scaling := fs.String("scaling", "", "sweep the sharded executor across shard counts (1..max(GOMAXPROCS,8)) and merge the 'partitioned' section into the JSON report at this path ('-' = stdout)")
+	governance := fs.String("governance", "", "measure the cancellation-guard overhead (context-aware vs legacy evaluation) and merge the 'governance' section into the JSON report at this path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +50,9 @@ func run(args []string) error {
 	}
 	if *scaling != "" {
 		return runScalingBench(*scaling)
+	}
+	if *governance != "" {
+		return runGovernanceBench(*governance)
 	}
 	if strings.EqualFold(*exp, "all") {
 		for _, id := range experiments.IDs() {

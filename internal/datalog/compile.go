@@ -401,8 +401,8 @@ type stepSrc struct {
 
 // joinSteps enumerates the component's matches from the given depth,
 // invoking yield with the shared frame for each complete one. It reports
-// false iff yield asked to stop.
-func joinSteps(c *compiledComponent, srcs []stepSrc, depth int, frame []string, yield func([]string) bool) bool {
+// false iff yield asked to stop. g may be nil (no cancellation checks).
+func joinSteps(c *compiledComponent, srcs []stepSrc, depth int, frame []string, g *evalGuard, yield func([]string) bool) bool {
 	if depth == len(c.steps) {
 		return yield(frame)
 	}
@@ -413,16 +413,16 @@ func joinSteps(c *compiledComponent, srcs []stepSrc, depth int, frame []string, 
 		if step.probeSlot >= 0 {
 			val = frame[step.probeSlot]
 		}
-		return stepLoop(c, srcs, depth, frame, yield, src.tuples, src.idx[val], true, 0, 1)
+		return stepLoop(c, srcs, depth, frame, g, yield, src.tuples, src.idx[val], true, 0, 1)
 	}
-	return stepLoop(c, srcs, depth, frame, yield, src.tuples, nil, false, 0, 1)
+	return stepLoop(c, srcs, depth, frame, g, yield, src.tuples, nil, false, 0, 1)
 }
 
 // stepLoop runs one step's candidate loop over either an index position
 // list or a full scan, visiting candidates offset, offset+stride, ... —
 // inner depths always run the full loop (0, 1); parallel shards stride
-// the root. It reports false iff yield asked to stop.
-func stepLoop(c *compiledComponent, srcs []stepSrc, depth int, frame []string, yield func([]string) bool, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int) bool {
+// the root. It reports false iff yield asked to stop or the guard tripped.
+func stepLoop(c *compiledComponent, srcs []stepSrc, depth int, frame []string, g *evalGuard, yield func([]string) bool, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int) bool {
 	step := &c.steps[depth]
 	var seen map[string]bool
 	var keyBuf []byte
@@ -433,6 +433,9 @@ func stepLoop(c *compiledComponent, srcs []stepSrc, depth int, frame []string, y
 		ops = step.opsIndexed
 	}
 	for i := offset; i < n; i += stride {
+		if g != nil && g.tick() {
+			return false
+		}
 		t := tuples[i]
 		if usePositions {
 			t = tuples[positions[i]]
@@ -450,7 +453,7 @@ func stepLoop(c *compiledComponent, srcs []stepSrc, depth int, frame []string, y
 			}
 			seen[string(keyBuf)] = true
 		}
-		if !joinSteps(c, srcs, depth+1, frame, yield) {
+		if !joinSteps(c, srcs, depth+1, frame, g, yield) {
 			return false
 		}
 		if step.existential {
@@ -502,22 +505,43 @@ func (p *CompiledPlan) EvalParallelUnsorted(db *storage.Database, workers int) [
 // EvalParallelUnsortedWith is EvalParallelUnsorted under an argument
 // binding (EvalWith).
 func (p *CompiledPlan) EvalParallelUnsortedWith(db *storage.Database, args []string, workers int) []storage.Tuple {
+	return p.evalUnsorted(db, args, workers, nil)
+}
+
+// evalUnsorted is the shared executor behind the legacy (gs == nil) and
+// context-aware entry points. On a tripped guard the partial rows are
+// meaningless; callers must consult gs.failure() first.
+func (p *CompiledPlan) evalUnsorted(db *storage.Database, args []string, workers int, gs *guardState) []storage.Tuple {
 	base := p.baseFrame(args)
 	// Single-component fast path (the common case): emit head tuples
 	// straight from the frame, one allocation per distinct answer.
 	if !p.empty && len(p.components) == 1 && len(p.components[0].headSlots) > 0 {
 		c := &p.components[0]
 		rows := p.enumerateComponent(c, p.resolve(db, c), workers, base,
-			func(frame []string) []string { return p.headTuple(frame) })
+			func(frame []string) []string { return p.headTuple(frame) }, gs)
 		out := make([]storage.Tuple, len(rows))
 		for i, r := range rows {
 			out[i] = r
 		}
 		return out
 	}
-	parts, ok := p.componentRows(db, workers, base)
-	if !ok {
+	parts, ok := p.componentRows(db, workers, base, gs)
+	if !ok || gs.failure() != nil {
 		return nil
+	}
+	// Cross-component results multiply; bound the product before the
+	// combine materialises it.
+	if gs != nil && gs.maxRows > 0 {
+		prod := 1
+		for i := range p.components {
+			if len(p.components[i].headSlots) > 0 {
+				prod *= len(parts[i])
+				if prod > gs.maxRows {
+					gs.trip(fmt.Errorf("datalog: row budget of %d exceeded: %w", gs.maxRows, ErrBudgetExceeded))
+					return nil
+				}
+			}
+		}
 	}
 	return p.combineComponents(parts, base)
 }
@@ -579,7 +603,7 @@ func (p *CompiledPlan) Count(db *storage.Database) int {
 
 // CountWith is Count under an argument binding (EvalWith).
 func (p *CompiledPlan) CountWith(db *storage.Database, args []string) int {
-	parts, ok := p.componentRows(db, 1, p.baseFrame(args))
+	parts, ok := p.componentRows(db, 1, p.baseFrame(args), nil)
 	if !ok {
 		return 0
 	}
@@ -626,7 +650,7 @@ func (c *compiledComponent) projectRow(frame []string) []string {
 // projections onto its head slots (nil rows for existence-only
 // components). ok=false means some component has no match — the query has
 // no answers at all.
-func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []string) ([][][]string, bool) {
+func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []string, gs *guardState) ([][][]string, bool) {
 	if p.empty {
 		return nil, false
 	}
@@ -639,7 +663,7 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []s
 			found := false
 			frame := make([]string, p.numSlots)
 			copy(frame, base)
-			joinSteps(c, srcs, 0, frame, func([]string) bool {
+			joinSteps(c, srcs, 0, frame, gs.child(), func([]string) bool {
 				found = true
 				return false
 			})
@@ -648,7 +672,7 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []s
 			}
 			continue
 		}
-		rows := p.enumerateComponent(c, srcs, workers, base, c.projectRow)
+		rows := p.enumerateComponent(c, srcs, workers, base, c.projectRow, gs)
 		if len(rows) == 0 {
 			return nil, false
 		}
@@ -661,7 +685,7 @@ func (p *CompiledPlan) componentRows(db *storage.Database, workers int, base []s
 // the given projection function, sharding the root candidate loop across
 // workers when profitable. base is the initial frame (parameter slots
 // filled; see baseFrame).
-func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, workers int, base []string, project func([]string) []string) [][]string {
+func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, workers int, base []string, project func([]string) []string, gs *guardState) [][]string {
 	root := &c.steps[0]
 	tuples := srcs[0].tuples
 	// Resolve the root candidate set once. At depth 0 the only bound slots
@@ -683,7 +707,7 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 		workers = n
 	}
 	if workers <= 1 || root.existential {
-		return p.runShard(c, srcs, tuples, positions, usePositions, 0, 1, base, project)
+		return p.runShard(c, srcs, tuples, positions, usePositions, 0, 1, base, project, gs.child())
 	}
 
 	// Shard the root loop round-robin; each worker dedups its own shard,
@@ -694,7 +718,7 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shards[w] = p.runShard(c, srcs, tuples, positions, usePositions, w, workers, base, project)
+			shards[w] = p.runShard(c, srcs, tuples, positions, usePositions, w, workers, base, project, gs.child())
 		}(w)
 	}
 	wg.Wait()
@@ -715,7 +739,7 @@ func (p *CompiledPlan) enumerateComponent(c *compiledComponent, srcs []stepSrc, 
 // runShard enumerates root candidates offset, offset+stride, ... through
 // the shared stepLoop and returns the distinct projections found below
 // them.
-func (p *CompiledPlan) runShard(c *compiledComponent, srcs []stepSrc, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int, base []string, project func([]string) []string) [][]string {
+func (p *CompiledPlan) runShard(c *compiledComponent, srcs []stepSrc, tuples []storage.Tuple, positions []int, usePositions bool, offset, stride int, base []string, project func([]string) []string, g *evalGuard) [][]string {
 	frame := make([]string, p.numSlots)
 	copy(frame, base)
 	var rows [][]string
@@ -734,10 +758,13 @@ func (p *CompiledPlan) runShard(c *compiledComponent, srcs []stepSrc, tuples []s
 		if !seen[string(keyBuf)] {
 			seen[string(keyBuf)] = true
 			rows = append(rows, project(frame))
+			if g.emitRow() {
+				return false
+			}
 		}
 		return true
 	}
-	stepLoop(c, srcs, 0, frame, emit, tuples, positions, usePositions, offset, stride)
+	stepLoop(c, srcs, 0, frame, g, emit, tuples, positions, usePositions, offset, stride)
 	return rows
 }
 

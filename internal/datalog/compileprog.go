@@ -383,7 +383,7 @@ func (cp *CompiledProgram) Eval(edb *storage.Database) (*storage.Database, error
 // buffers are merged sequentially between rounds, so results are identical
 // to the sequential evaluation.
 func (cp *CompiledProgram) EvalParallel(edb *storage.Database, workers int) (*storage.Database, error) {
-	idb, _, err := cp.run(edb, workers)
+	idb, _, err := cp.run(edb, workers, nil, Limits{})
 	if err != nil {
 		return nil, err
 	}
@@ -409,7 +409,14 @@ func materializeIDB(db *storage.Database, idb map[string]*idbRel) (*storage.Data
 // full-database clone Eval pays for API compatibility. The returned slice is
 // fresh; callers may sort or filter it in place.
 func (cp *CompiledProgram) EvalRelation(edb *storage.Database, pred string, workers int) ([]storage.Tuple, FixpointStats, error) {
-	idb, stats, err := cp.run(edb, workers)
+	return cp.evalRelation(edb, pred, workers, nil, Limits{})
+}
+
+// evalRelation is the shared implementation behind EvalRelation and
+// EvalRelationCtx. On a guard or budget failure the partial stats are
+// returned with the error so callers can report progress.
+func (cp *CompiledProgram) evalRelation(edb *storage.Database, pred string, workers int, gs *guardState, lim Limits) ([]storage.Tuple, FixpointStats, error) {
+	idb, stats, err := cp.run(edb, workers, gs, lim)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -429,7 +436,12 @@ func (cp *CompiledProgram) EvalRelation(edb *storage.Database, pred string, work
 // tuples, with the delta at the join root. New tuples are buffered during a
 // round and merged (with dedup against the accumulated relation) after it,
 // so relations are immutable while any variant is executing.
-func (cp *CompiledProgram) run(edb *storage.Database, workers int) (map[string]*idbRel, FixpointStats, error) {
+//
+// gs and lim are the governance hooks (nil/zero for unbounded runs):
+// cancellation is polled inside the variant loops and at every round
+// barrier, and the round/derivation budgets are checked where the stats are
+// consistent — so an aborted run returns its partial stats with the error.
+func (cp *CompiledProgram) run(edb *storage.Database, workers int, gs *guardState, lim Limits) (map[string]*idbRel, FixpointStats, error) {
 	var stats FixpointStats
 	idb := make(map[string]*idbRel, len(cp.idbArity))
 	for pred, arity := range cp.idbArity {
@@ -456,8 +468,14 @@ func (cp *CompiledProgram) run(edb *storage.Database, workers int) (map[string]*
 		}
 	}
 	for len(tasks) > 0 {
+		if err := gs.barrier(); err != nil {
+			return nil, stats, err
+		}
+		if err := checkFixpointBudget(stats, lim); err != nil {
+			return nil, stats, err
+		}
 		stats.Iterations++
-		bufs, err := cp.runRound(edb, idb, tasks, workers)
+		bufs, err := cp.runRound(edb, idb, tasks, workers, gs)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -485,16 +503,32 @@ func (cp *CompiledProgram) run(edb *storage.Database, workers int) (map[string]*
 			}
 		}
 	}
+	if err := gs.failure(); err != nil {
+		return nil, stats, err
+	}
 	return idb, stats, nil
+}
+
+// checkFixpointBudget enforces the round and derivation budgets at a round
+// barrier (stats are consistent there; a run may overshoot MaxDerived by at
+// most the final round's derivations).
+func checkFixpointBudget(stats FixpointStats, lim Limits) error {
+	if lim.MaxRounds > 0 && stats.Iterations >= lim.MaxRounds {
+		return fmt.Errorf("datalog: fixpoint exceeded %d round(s): %w", lim.MaxRounds, ErrBudgetExceeded)
+	}
+	if lim.MaxDerived > 0 && stats.Derived > lim.MaxDerived {
+		return fmt.Errorf("datalog: fixpoint derived more than %d tuple(s): %w", lim.MaxDerived, ErrBudgetExceeded)
+	}
+	return nil
 }
 
 // runRound executes one round's tasks, each into its own buffer. With
 // workers > 1 the tasks run concurrently: they read the round-stable
 // relations and the (read-only until merge) dedup sets, and write nothing
 // shared.
-func (cp *CompiledProgram) runRound(edb *storage.Database, idb map[string]*idbRel, tasks []fixTask, workers int) ([][]derivedTuple, error) {
+func (cp *CompiledProgram) runRound(edb *storage.Database, idb map[string]*idbRel, tasks []fixTask, workers int, gs *guardState) ([][]derivedTuple, error) {
 	return runTaskSet(len(tasks), workers, func(i int) ([]derivedTuple, error) {
-		return cp.runVariant(edb, idb, tasks[i])
+		return cp.runVariant(edb, idb, tasks[i], gs.child())
 	})
 }
 
@@ -544,7 +578,7 @@ func runTaskSet(n, workers int, run func(int) ([]derivedTuple, error)) ([][]deri
 // runVariant enumerates one variant's body matches and buffers the derived
 // head tuples, deduplicated against both the buffer and the accumulated
 // relation (reads only — inserts happen at the merge).
-func (cp *CompiledProgram) runVariant(edb *storage.Database, idb map[string]*idbRel, t fixTask) ([]derivedTuple, error) {
+func (cp *CompiledProgram) runVariant(edb *storage.Database, idb map[string]*idbRel, t fixTask, g *evalGuard) ([]derivedTuple, error) {
 	v := t.v
 	srcs := cp.resolveVariant(edb, idb, t)
 	comp := compiledComponent{steps: v.steps}
@@ -553,7 +587,7 @@ func (cp *CompiledProgram) runVariant(edb *storage.Database, idb map[string]*idb
 	var buf []derivedTuple
 	var bufSeen map[string]bool
 	var evalErr error
-	joinSteps(&comp, srcs, 0, frame, func(frame []string) bool {
+	joinSteps(&comp, srcs, 0, frame, g, func(frame []string) bool {
 		if v.unsafeVar != "" {
 			evalErr = fmt.Errorf("datalog: unbound head variable %s", v.unsafeVar)
 			return false
@@ -568,6 +602,12 @@ func (cp *CompiledProgram) runVariant(edb *storage.Database, idb map[string]*idb
 		}
 		bufSeen[k] = true
 		buf = append(buf, derivedTuple{t: tuple, key: k})
+		// Intra-round backstop for the derivation budget: the authoritative
+		// check runs at the round barrier, but a single variant exploding
+		// past the whole budget stops here instead of finishing the round.
+		if g.emitRow() {
+			return false
+		}
 		return true
 	})
 	return buf, evalErr
@@ -708,7 +748,7 @@ func (p *Program) Eval(edb *storage.Database) (*storage.Database, error) {
 	}
 	db := edb.Clone()
 	cp.freeze(db)
-	idb, _, err := cp.run(db, 1)
+	idb, _, err := cp.run(db, 1, nil, Limits{})
 	if err != nil {
 		return nil, err
 	}

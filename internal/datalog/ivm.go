@@ -60,6 +60,14 @@ func (cp *CompiledProgram) MaintainDelta(db *storage.Database, delta map[string]
 // executions fanned out across up to workers goroutines; results are
 // identical to the sequential propagation.
 func (cp *CompiledProgram) MaintainDeltaParallel(db *storage.Database, delta map[string][]storage.Tuple, workers int) (map[string][]storage.Tuple, FixpointStats, error) {
+	return cp.maintainDelta(db, delta, workers, nil, Limits{})
+}
+
+// maintainDelta is the shared implementation behind MaintainDeltaParallel
+// and MaintainDeltaCtx. On a guard or budget failure the database holds a
+// partially propagated state — callers wanting atomicity (ivm.Maintainer)
+// snapshot and roll back around it.
+func (cp *CompiledProgram) maintainDelta(db *storage.Database, delta map[string][]storage.Tuple, workers int, gs *guardState, lim Limits) (map[string][]storage.Tuple, FixpointStats, error) {
 	var stats FixpointStats
 	if !cp.ivm {
 		return nil, stats, ErrNotMaintenance
@@ -83,11 +91,20 @@ func (cp *CompiledProgram) MaintainDeltaParallel(db *storage.Database, delta map
 			}
 		}
 		if len(tasks) == 0 {
+			if err := gs.failure(); err != nil {
+				return nil, stats, err
+			}
 			return derived, stats, nil
+		}
+		if err := gs.barrier(); err != nil {
+			return nil, stats, err
+		}
+		if err := checkFixpointBudget(stats, lim); err != nil {
+			return nil, stats, err
 		}
 		stats.Iterations++
 		bufs, err := runTaskSet(len(tasks), workers, func(i int) ([]derivedTuple, error) {
-			return cp.maintVariant(db, tasks[i])
+			return cp.maintVariant(db, tasks[i], gs.child())
 		})
 		if err != nil {
 			return nil, stats, err
@@ -120,6 +137,14 @@ func (cp *CompiledProgram) MaintainDeltaParallel(db *storage.Database, delta map
 // that were actually new, the newly derived tuples per predicate, and the
 // propagation stats.
 func (cp *CompiledProgram) ApplyInserts(db *storage.Database, updates map[string][]storage.Tuple, workers int) (fresh, derived map[string][]storage.Tuple, stats FixpointStats, err error) {
+	return cp.applyInserts(db, updates, workers, nil, Limits{})
+}
+
+// applyInserts is the shared implementation behind ApplyInserts and
+// ApplyInsertsCtx. Validation errors leave db unchanged; a guard or budget
+// failure leaves it partially updated (callers wanting atomicity snapshot
+// and roll back).
+func (cp *CompiledProgram) applyInserts(db *storage.Database, updates map[string][]storage.Tuple, workers int, gs *guardState, lim Limits) (fresh, derived map[string][]storage.Tuple, stats FixpointStats, err error) {
 	if !cp.ivm {
 		return nil, nil, stats, ErrNotMaintenance
 	}
@@ -136,7 +161,7 @@ func (cp *CompiledProgram) ApplyInserts(db *storage.Database, updates map[string
 				want = len(t)
 			}
 			if len(t) != want {
-				return nil, nil, stats, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, want, len(t))
+				return nil, nil, stats, &storage.ArityError{Pred: pred, Want: want, Got: len(t)}
 			}
 		}
 	}
@@ -155,7 +180,7 @@ func (cp *CompiledProgram) ApplyInserts(db *storage.Database, updates map[string
 			}
 		}
 	}
-	derived, stats, err = cp.MaintainDeltaParallel(db, fresh, workers)
+	derived, stats, err = cp.maintainDelta(db, fresh, workers, gs, lim)
 	if err != nil {
 		return nil, nil, stats, err
 	}
@@ -168,7 +193,7 @@ func (cp *CompiledProgram) ApplyInserts(db *storage.Database, updates map[string
 // the derived relations — resolves from db, with indexed probes whenever
 // the relation's column indexes are current (frozen databases keep them
 // current across maintained inserts).
-func (cp *CompiledProgram) maintVariant(db *storage.Database, t maintTask) ([]derivedTuple, error) {
+func (cp *CompiledProgram) maintVariant(db *storage.Database, t maintTask, g *evalGuard) ([]derivedTuple, error) {
 	v := t.v
 	srcs := make([]stepSrc, len(v.steps))
 	for j := range v.steps {
@@ -194,7 +219,7 @@ func (cp *CompiledProgram) maintVariant(db *storage.Database, t maintTask) ([]de
 	var buf []derivedTuple
 	var bufSeen map[string]bool
 	var evalErr error
-	joinSteps(&comp, srcs, 0, frame, func(frame []string) bool {
+	joinSteps(&comp, srcs, 0, frame, g, func(frame []string) bool {
 		if v.unsafeVar != "" {
 			evalErr = fmt.Errorf("datalog: unbound head variable %s", v.unsafeVar)
 			return false
@@ -209,6 +234,9 @@ func (cp *CompiledProgram) maintVariant(db *storage.Database, t maintTask) ([]de
 		}
 		bufSeen[k] = true
 		buf = append(buf, derivedTuple{t: tuple, key: k})
+		if g.emitRow() {
+			return false
+		}
 		return true
 	})
 	return buf, evalErr

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -112,13 +113,13 @@ func (src shardSrc) only(s int) shardSrc {
 // A local probe routes to the owner shard of the probe value; every other
 // access path visits the shards in order, which preserves the unpartitioned
 // candidate semantics (the union of the shards is the relation).
-func joinStepsShard(c *compiledComponent, srcs []shardSrc, depth, stop int, frame []string, yield func([]string) bool) bool {
+func joinStepsShard(c *compiledComponent, srcs []shardSrc, depth, stop int, frame []string, g *evalGuard, yield func([]string) bool) bool {
 	if depth == stop {
 		return yield(frame)
 	}
 	step := &c.steps[depth]
 	src := &srcs[depth]
-	st := shardStep{c: c, srcs: srcs, depth: depth, stop: stop}
+	st := shardStep{c: c, srcs: srcs, depth: depth, stop: stop, g: g}
 	if step.probeCol >= 0 {
 		val := step.probeConst
 		if step.probeSlot >= 0 {
@@ -159,6 +160,7 @@ type shardStep struct {
 	seen        map[string]bool
 	keyBuf      []byte
 	done        bool
+	g           *evalGuard // may be nil: no cancellation checks
 }
 
 // shard runs the step's candidate loop over one shard, probing its index
@@ -187,6 +189,9 @@ func (st *shardStep) loop(tuples []storage.Tuple, positions []int, usePositions 
 		ops = step.opsIndexed
 	}
 	for i := 0; i < n; i++ {
+		if st.g != nil && st.g.tick() {
+			return false
+		}
 		t := tuples[i]
 		if usePositions {
 			t = tuples[positions[i]]
@@ -204,7 +209,7 @@ func (st *shardStep) loop(tuples []storage.Tuple, positions []int, usePositions 
 			}
 			st.seen[string(st.keyBuf)] = true
 		}
-		if !joinStepsShard(st.c, st.srcs, st.depth+1, st.stop, frame, yield) {
+		if !joinStepsShard(st.c, st.srcs, st.depth+1, st.stop, frame, st.g, yield) {
 			return false
 		}
 		if step.existential {
@@ -305,7 +310,7 @@ type segResult struct {
 // root probe already routes to a single owner shard), each exchange
 // re-buckets the intermediate frames by the next segment's routing slot,
 // and each later stage runs one task per non-empty shard.
-func (p *CompiledPlan) enumerateComponentSharded(c *compiledComponent, pdb *storage.PartitionedDatabase, workers int, base []string, project func([]string) []string) [][]string {
+func (p *CompiledPlan) enumerateComponentSharded(c *compiledComponent, pdb *storage.PartitionedDatabase, workers int, base []string, project func([]string) []string, gs *guardState) [][]string {
 	srcs := resolveSharded(pdb, c)
 	P := pdb.NumShards()
 	segs, finalRoute := shardSegments(c, srcs, P)
@@ -334,6 +339,7 @@ func (p *CompiledPlan) enumerateComponentSharded(c *compiledComponent, pdb *stor
 	runSeg := func(k int, taskSrcs []shardSrc, startFrames []string) segResult {
 		seg := segs[k]
 		last := k == len(segs)-1
+		g := gs.child()
 		var res segResult
 		var emitSeen map[string]bool
 		var keyBuf []byte
@@ -361,17 +367,20 @@ func (p *CompiledPlan) enumerateComponentSharded(c *compiledComponent, pdb *stor
 			if !emitSeen[string(keyBuf)] {
 				emitSeen[string(keyBuf)] = true
 				res.rows = append(res.rows, project(frame))
+				if g.emitRow() {
+					return false
+				}
 			}
 			return true
 		}
 		frame := make([]string, p.numSlots)
 		if k == 0 {
 			copy(frame, base)
-			joinStepsShard(c, taskSrcs, 0, seg.to, frame, yield)
+			joinStepsShard(c, taskSrcs, 0, seg.to, frame, g, yield)
 		} else {
 			for off := 0; off < len(startFrames); off += stride {
 				copy(frame, startFrames[off:off+stride])
-				if !joinStepsShard(c, taskSrcs, seg.from, seg.to, frame, yield) {
+				if !joinStepsShard(c, taskSrcs, seg.from, seg.to, frame, g, yield) {
 					break
 				}
 			}
@@ -391,6 +400,9 @@ func (p *CompiledPlan) enumerateComponentSharded(c *compiledComponent, pdb *stor
 	})
 
 	for k := 1; k < len(segs); k++ {
+		if gs.failure() != nil {
+			return nil // canceled mid-exchange: partial rows are meaningless
+		}
 		// Exchange barrier: merge every task's buckets into per-shard frame
 		// lists, then fan the next segment out one task per non-empty shard.
 		in := make([][]string, P)
@@ -574,26 +586,44 @@ func (p *CompiledPlan) EvalShardedUnsorted(pdb *storage.PartitionedDatabase, wor
 
 // EvalShardedUnsortedWith is EvalShardedWith without the final sort.
 func (p *CompiledPlan) EvalShardedUnsortedWith(pdb *storage.PartitionedDatabase, args []string, workers int) []storage.Tuple {
+	return p.evalShardedUnsorted(pdb, args, workers, nil)
+}
+
+// evalShardedUnsorted is the shared sharded executor behind the legacy
+// (gs == nil) and context-aware entry points.
+func (p *CompiledPlan) evalShardedUnsorted(pdb *storage.PartitionedDatabase, args []string, workers int, gs *guardState) []storage.Tuple {
 	base := p.baseFrame(args)
 	if !p.empty && len(p.components) == 1 && len(p.components[0].headSlots) > 0 {
 		c := &p.components[0]
 		rows := p.enumerateComponentSharded(c, pdb, workers, base,
-			func(frame []string) []string { return p.headTuple(frame) })
+			func(frame []string) []string { return p.headTuple(frame) }, gs)
 		out := make([]storage.Tuple, len(rows))
 		for i, r := range rows {
 			out[i] = r
 		}
 		return out
 	}
-	parts, ok := p.componentRowsSharded(pdb, workers, base)
-	if !ok {
+	parts, ok := p.componentRowsSharded(pdb, workers, base, gs)
+	if !ok || gs.failure() != nil {
 		return nil
+	}
+	if gs != nil && gs.maxRows > 0 {
+		prod := 1
+		for i := range p.components {
+			if len(p.components[i].headSlots) > 0 {
+				prod *= len(parts[i])
+				if prod > gs.maxRows {
+					gs.trip(fmt.Errorf("datalog: row budget of %d exceeded: %w", gs.maxRows, ErrBudgetExceeded))
+					return nil
+				}
+			}
+		}
 	}
 	return p.combineComponents(parts, base)
 }
 
 // componentRowsSharded is componentRows over a partitioned database.
-func (p *CompiledPlan) componentRowsSharded(pdb *storage.PartitionedDatabase, workers int, base []string) ([][][]string, bool) {
+func (p *CompiledPlan) componentRowsSharded(pdb *storage.PartitionedDatabase, workers int, base []string, gs *guardState) ([][][]string, bool) {
 	if p.empty {
 		return nil, false
 	}
@@ -607,7 +637,7 @@ func (p *CompiledPlan) componentRowsSharded(pdb *storage.PartitionedDatabase, wo
 			found := false
 			frame := make([]string, p.numSlots)
 			copy(frame, base)
-			joinStepsShard(c, srcs, 0, len(c.steps), frame, func([]string) bool {
+			joinStepsShard(c, srcs, 0, len(c.steps), frame, gs.child(), func([]string) bool {
 				found = true
 				return false
 			})
@@ -616,7 +646,7 @@ func (p *CompiledPlan) componentRowsSharded(pdb *storage.PartitionedDatabase, wo
 			}
 			continue
 		}
-		rows := p.enumerateComponentSharded(c, pdb, workers, base, c.projectRow)
+		rows := p.enumerateComponentSharded(c, pdb, workers, base, c.projectRow, gs)
 		if len(rows) == 0 {
 			return nil, false
 		}

@@ -164,8 +164,10 @@ func (cp *CompiledProgram) resolveVariantSharded(pdb *storage.PartitionedDatabas
 }
 
 // runSharded executes the per-shard semi-naive loop; see the package
-// comment above for the round/barrier structure.
-func (cp *CompiledProgram) runSharded(pdb *storage.PartitionedDatabase, workers int) (map[string]*shardedIDB, FixpointStats, error) {
+// comment above for the round/barrier structure. gs and lim are the
+// governance hooks (nil/zero for unbounded runs), checked exactly as in
+// run(): inside the variant loops and at every round barrier.
+func (cp *CompiledProgram) runSharded(pdb *storage.PartitionedDatabase, workers int, gs *guardState, lim Limits) (map[string]*shardedIDB, FixpointStats, error) {
 	P := pdb.NumShards()
 	var stats FixpointStats
 	idb := make(map[string]*shardedIDB, len(cp.idbArity))
@@ -175,7 +177,7 @@ func (cp *CompiledProgram) runSharded(pdb *storage.PartitionedDatabase, workers 
 		// seed the accumulated set, re-routed by the IDB partition column.
 		if rel := pdb.Relation(pred); rel != nil {
 			if rel.Arity() != arity {
-				return nil, stats, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, rel.Arity(), arity)
+				return nil, stats, &storage.ArityError{Pred: pred, Want: rel.Arity(), Got: arity}
 			}
 			for i := 0; i < rel.NumShards(); i++ {
 				for _, t := range rel.Shard(i).Tuples() {
@@ -195,9 +197,15 @@ func (cp *CompiledProgram) runSharded(pdb *storage.PartitionedDatabase, workers 
 		tasks = append(tasks, cp.fullTasks(pdb, idb, r)...)
 	}
 	for len(tasks) > 0 {
+		if err := gs.barrier(); err != nil {
+			return nil, stats, err
+		}
+		if err := checkFixpointBudget(stats, lim); err != nil {
+			return nil, stats, err
+		}
 		stats.Iterations++
 		bufs, err := runTaskSet(len(tasks), workers, func(i int) ([]derivedTuple, error) {
-			return cp.runVariantSharded(pdb, idb, tasks[i])
+			return cp.runVariantSharded(pdb, idb, tasks[i], gs.child())
 		})
 		if err != nil {
 			return nil, stats, err
@@ -234,6 +242,9 @@ func (cp *CompiledProgram) runSharded(pdb *storage.PartitionedDatabase, workers 
 				}
 			}
 		}
+	}
+	if err := gs.failure(); err != nil {
+		return nil, stats, err
 	}
 	return idb, stats, nil
 }
@@ -279,7 +290,7 @@ func (cp *CompiledProgram) fullTasks(pdb *storage.PartitionedDatabase, idb map[s
 // runVariantSharded enumerates one variant's body matches through the
 // sharded executor and buffers the derived head tuples, deduplicated
 // against the buffer and the accumulated (round-stable) sharded relation.
-func (cp *CompiledProgram) runVariantSharded(pdb *storage.PartitionedDatabase, idb map[string]*shardedIDB, t shardFixTask) ([]derivedTuple, error) {
+func (cp *CompiledProgram) runVariantSharded(pdb *storage.PartitionedDatabase, idb map[string]*shardedIDB, t shardFixTask, g *evalGuard) ([]derivedTuple, error) {
 	v := t.v
 	srcs := cp.resolveVariantSharded(pdb, idb, v, t.delta)
 	if t.rootShard >= 0 {
@@ -291,7 +302,7 @@ func (cp *CompiledProgram) runVariantSharded(pdb *storage.PartitionedDatabase, i
 	var buf []derivedTuple
 	var bufSeen map[string]bool
 	var evalErr error
-	joinStepsShard(&comp, srcs, 0, len(v.steps), frame, func(frame []string) bool {
+	joinStepsShard(&comp, srcs, 0, len(v.steps), frame, g, func(frame []string) bool {
 		if v.unsafeVar != "" {
 			evalErr = fmt.Errorf("datalog: unbound head variable %s", v.unsafeVar)
 			return false
@@ -306,6 +317,9 @@ func (cp *CompiledProgram) runVariantSharded(pdb *storage.PartitionedDatabase, i
 		}
 		bufSeen[k] = true
 		buf = append(buf, derivedTuple{t: tuple, key: k})
+		if g.emitRow() {
+			return false
+		}
 		return true
 	})
 	return buf, evalErr
@@ -316,7 +330,7 @@ func (cp *CompiledProgram) runVariantSharded(pdb *storage.PartitionedDatabase, i
 // plus all derived relations — tuple-set-identical to Eval over the
 // flattened input.
 func (cp *CompiledProgram) EvalSharded(pdb *storage.PartitionedDatabase, workers int) (*storage.Database, error) {
-	idb, _, err := cp.runSharded(pdb, workers)
+	idb, _, err := cp.runSharded(pdb, workers, nil, Limits{})
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +352,13 @@ func (cp *CompiledProgram) EvalSharded(pdb *storage.PartitionedDatabase, workers
 // EvalRelationSharded runs the per-shard fixpoint and returns just one
 // relation's tuples — the sharded serving path, mirroring EvalRelation.
 func (cp *CompiledProgram) EvalRelationSharded(pdb *storage.PartitionedDatabase, pred string, workers int) ([]storage.Tuple, FixpointStats, error) {
-	idb, stats, err := cp.runSharded(pdb, workers)
+	return cp.evalRelationSharded(pdb, pred, workers, nil, Limits{})
+}
+
+// evalRelationSharded is the shared implementation behind
+// EvalRelationSharded and EvalRelationShardedCtx.
+func (cp *CompiledProgram) evalRelationSharded(pdb *storage.PartitionedDatabase, pred string, workers int, gs *guardState, lim Limits) ([]storage.Tuple, FixpointStats, error) {
+	idb, stats, err := cp.runSharded(pdb, workers, gs, lim)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -361,6 +381,14 @@ func (cp *CompiledProgram) EvalRelationSharded(pdb *storage.PartitionedDatabase,
 // accumulated derived relations; it returns the newly derived tuples per
 // predicate.
 func (cp *CompiledProgram) MaintainDeltaSharded(pdb *storage.PartitionedDatabase, delta map[string][]storage.Tuple, workers int) (map[string][]storage.Tuple, FixpointStats, error) {
+	return cp.maintainDeltaSharded(pdb, delta, workers, nil, Limits{})
+}
+
+// maintainDeltaSharded is the shared implementation behind
+// MaintainDeltaSharded and MaintainDeltaShardedCtx. On a guard or budget
+// failure the database holds a partially propagated state — callers wanting
+// atomicity (ivm.Maintainer) snapshot and roll back around it.
+func (cp *CompiledProgram) maintainDeltaSharded(pdb *storage.PartitionedDatabase, delta map[string][]storage.Tuple, workers int, gs *guardState, lim Limits) (map[string][]storage.Tuple, FixpointStats, error) {
 	var stats FixpointStats
 	if !cp.ivm {
 		return nil, stats, ErrNotMaintenance
@@ -390,11 +418,20 @@ func (cp *CompiledProgram) MaintainDeltaSharded(pdb *storage.PartitionedDatabase
 			}
 		}
 		if len(tasks) == 0 {
+			if err := gs.failure(); err != nil {
+				return nil, stats, err
+			}
 			return derived, stats, nil
+		}
+		if err := gs.barrier(); err != nil {
+			return nil, stats, err
+		}
+		if err := checkFixpointBudget(stats, lim); err != nil {
+			return nil, stats, err
 		}
 		stats.Iterations++
 		bufs, err := runTaskSet(len(tasks), workers, func(i int) ([]derivedTuple, error) {
-			return cp.maintVariantSharded(pdb, tasks[i])
+			return cp.maintVariantSharded(pdb, tasks[i], gs.child())
 		})
 		if err != nil {
 			return nil, stats, err
@@ -446,7 +483,7 @@ func splitByShard(pdb *storage.PartitionedDatabase, pred string, tuples []storag
 // maintVariantSharded is maintVariant over a partitioned database: every
 // source — including the accumulated derived relations — resolves from
 // pdb, with shard-local probes on partition columns.
-func (cp *CompiledProgram) maintVariantSharded(pdb *storage.PartitionedDatabase, t shardFixTask) ([]derivedTuple, error) {
+func (cp *CompiledProgram) maintVariantSharded(pdb *storage.PartitionedDatabase, t shardFixTask, g *evalGuard) ([]derivedTuple, error) {
 	v := t.v
 	srcs := make([]shardSrc, len(v.steps))
 	for j := range v.steps {
@@ -468,7 +505,7 @@ func (cp *CompiledProgram) maintVariantSharded(pdb *storage.PartitionedDatabase,
 	var buf []derivedTuple
 	var bufSeen map[string]bool
 	var evalErr error
-	joinStepsShard(&comp, srcs, 0, len(v.steps), frame, func(frame []string) bool {
+	joinStepsShard(&comp, srcs, 0, len(v.steps), frame, g, func(frame []string) bool {
 		if v.unsafeVar != "" {
 			evalErr = fmt.Errorf("datalog: unbound head variable %s", v.unsafeVar)
 			return false
@@ -483,6 +520,9 @@ func (cp *CompiledProgram) maintVariantSharded(pdb *storage.PartitionedDatabase,
 		}
 		bufSeen[k] = true
 		buf = append(buf, derivedTuple{t: tuple, key: k})
+		if g.emitRow() {
+			return false
+		}
 		return true
 	})
 	return buf, evalErr
@@ -493,6 +533,14 @@ func (cp *CompiledProgram) maintVariantSharded(pdb *storage.PartitionedDatabase,
 // shard, creating missing relations partitioned by column 0), and
 // propagates the new ones through MaintainDeltaSharded.
 func (cp *CompiledProgram) ApplyInsertsSharded(pdb *storage.PartitionedDatabase, updates map[string][]storage.Tuple, workers int) (fresh, derived map[string][]storage.Tuple, stats FixpointStats, err error) {
+	return cp.applyInsertsSharded(pdb, updates, workers, nil, Limits{})
+}
+
+// applyInsertsSharded is the shared implementation behind
+// ApplyInsertsSharded and ApplyInsertsShardedCtx. Validation errors leave
+// pdb unchanged; a guard or budget failure leaves it partially updated
+// (callers wanting atomicity snapshot and roll back).
+func (cp *CompiledProgram) applyInsertsSharded(pdb *storage.PartitionedDatabase, updates map[string][]storage.Tuple, workers int, gs *guardState, lim Limits) (fresh, derived map[string][]storage.Tuple, stats FixpointStats, err error) {
 	if !cp.ivm {
 		return nil, nil, stats, ErrNotMaintenance
 	}
@@ -509,7 +557,7 @@ func (cp *CompiledProgram) ApplyInsertsSharded(pdb *storage.PartitionedDatabase,
 				want = len(t)
 			}
 			if len(t) != want {
-				return nil, nil, stats, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, want, len(t))
+				return nil, nil, stats, &storage.ArityError{Pred: pred, Want: want, Got: len(t)}
 			}
 		}
 	}
@@ -528,7 +576,7 @@ func (cp *CompiledProgram) ApplyInsertsSharded(pdb *storage.PartitionedDatabase,
 			}
 		}
 	}
-	derived, stats, err = cp.MaintainDeltaSharded(pdb, fresh, workers)
+	derived, stats, err = cp.maintainDeltaSharded(pdb, fresh, workers, gs, lim)
 	if err != nil {
 		return nil, nil, stats, err
 	}

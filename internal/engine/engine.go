@@ -33,6 +33,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -159,6 +160,26 @@ type Options struct {
 	// Cached plans survive updates — rewritings depend only on the view
 	// definitions, never on extent contents.
 	LiveUpdates bool
+	// Budget is the default per-request resource budget (deadline, result
+	// rows, derived tuples, fixpoint rounds) applied to every Answer, Exec
+	// and ApplyBatch. The zero value means unlimited; the *Budget entry
+	// points override it per call.
+	Budget Budget
+	// MaxConcurrent caps concurrently executing requests (admission
+	// control): queries weigh 1, update batches 2. Excess requests wait in
+	// a bounded FIFO queue and are shed with ErrOverloaded when it fills.
+	// 0 disables admission entirely — every request runs immediately, with
+	// no added synchronization.
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue; requests beyond it are
+	// shed immediately with an OverloadedError carrying a retry-after
+	// hint. 0 means 4×MaxConcurrent; negative means no queue (shed as
+	// soon as MaxConcurrent is reached).
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for admission before
+	// being shed with ErrOverloaded. 0 means wait until the request's own
+	// context fires.
+	QueueTimeout time.Duration
 }
 
 // PlanKind discriminates what a cached plan holds.
@@ -299,6 +320,12 @@ type Stats struct {
 	// MaintainTime is the cumulative wall time of update batches:
 	// delta propagation plus the serving-snapshot appends.
 	MaintainTime time.Duration
+	// Admission reports admission-control outcomes (all zero when
+	// Options.MaxConcurrent leaves admission disabled).
+	Admission AdmissionStats
+	// Panics counts evaluation panics the engine boundary converted into
+	// ErrInternal.
+	Panics uint64
 	// PerStrategy breaks down planning work by strategy.
 	PerStrategy map[Strategy]StrategyStats
 }
@@ -330,6 +357,8 @@ type Engine struct {
 	constViews bool
 	// live is the update path (nil without Options.LiveUpdates).
 	live *liveState
+	// admit gates request execution (nil without Options.MaxConcurrent).
+	admit *admitter
 
 	// Execution counters are atomics: the warm serving path must not
 	// serialize on the cache mutex just to record timings.
@@ -342,6 +371,7 @@ type Engine struct {
 	updTuples     atomic.Uint64
 	updDerived    atomic.Uint64
 	maintainTime  atomic.Int64 // nanoseconds
+	panics        atomic.Uint64
 
 	mu          sync.Mutex
 	cache       *lruCache
@@ -431,6 +461,7 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		inflight:    make(map[string]*flight),
 		perStrategy: make(map[Strategy]*StrategyStats),
 	}
+	e.admit = newAdmitter(opt, e.retryHint)
 	if opt.Shards > 1 {
 		e.pdb = storage.Partition(db, opt.Shards, e.catalog.PartitionColumns(nil))
 		e.pdb.BuildIndexes()
@@ -594,37 +625,7 @@ func (e *Engine) InsertBatch(pred string, tuples []storage.Tuple) error {
 // the view definitions). Inserting into a view predicate is an error, as
 // is calling this on an engine built without Options.LiveUpdates.
 func (e *Engine) ApplyBatch(updates map[string][]storage.Tuple) error {
-	if e.live == nil {
-		return ErrNotLive
-	}
-	l := e.live
-	l.updateMu.Lock()
-	defer l.updateMu.Unlock()
-	start := time.Now()
-	res, err := l.maint.ApplyBatch(updates)
-	if err != nil {
-		return err
-	}
-	// Publish: append the deltas to the inactive side, make it active,
-	// then bring the formerly active side up to date once its readers
-	// drain. Each side only ever mutates under its write lock.
-	i := 1 - l.active.Load()
-	if err := l.applySide(i, res); err != nil {
-		return err
-	}
-	l.active.Store(i)
-	if err := l.applySide(1-i, res); err != nil {
-		return err
-	}
-	baseNew := 0
-	for _, tuples := range res.BaseInserted {
-		baseNew += len(tuples)
-	}
-	e.updBatches.Add(1)
-	e.updTuples.Add(uint64(baseNew))
-	e.updDerived.Add(uint64(res.Stats.Derived))
-	e.maintainTime.Add(int64(time.Since(start)))
-	return nil
+	return e.ApplyBatchCtx(context.Background(), updates)
 }
 
 // applySide appends one batch's base and extent deltas to serving side i —
@@ -726,12 +727,10 @@ func (pq *PreparedQuery) Args() []string {
 
 // Exec evaluates the prepared plan under the given argument binding and
 // returns the answer tuples in sorted order. It must receive exactly
-// NumParams arguments.
+// NumParams arguments; a mismatch returns an error matching
+// ErrArityMismatch.
 func (pq *PreparedQuery) Exec(args ...string) ([]storage.Tuple, error) {
-	if len(args) != len(pq.plan.Params) {
-		return nil, fmt.Errorf("engine: prepared query takes %d argument(s), got %d", len(pq.plan.Params), len(args))
-	}
-	return pq.eng.exec(pq.plan, args)
+	return pq.ExecBudget(context.Background(), pq.eng.opt.Budget, args...)
 }
 
 // Prepare canonicalises q to its template — constants abstracted to
@@ -884,111 +883,13 @@ func (e *Engine) AnswerBatch(qs []*cq.Query) ([][]storage.Tuple, error) {
 // update batch, never a torn mix. Answers are sorted for deterministic
 // output.
 func (e *Engine) Eval(p *Plan) ([]storage.Tuple, error) {
-	if len(p.Params) > 0 {
-		return nil, fmt.Errorf("engine: plan takes %d parameter(s); execute it through Prepare/Exec", len(p.Params))
-	}
-	return e.exec(p, nil)
+	return e.EvalCtx(context.Background(), p)
 }
 
 // exec evaluates a plan under an argument binding over a pinned serving
-// snapshot, recording execution counters.
+// snapshot with the engine-wide budget, recording execution counters.
 func (e *Engine) exec(p *Plan, args []string) ([]storage.Tuple, error) {
-	start := time.Now()
-	db, pdb, release := e.snapshot()
-	answers, err := e.evalPlan(db, pdb, p, args)
-	if release != nil {
-		release()
-	}
-	if err != nil {
-		return nil, err
-	}
-	e.execCount.Add(1)
-	e.execTime.Add(int64(time.Since(start)))
-	return answers, nil
-}
-
-// evalPlan evaluates a plan over a pinned snapshot. When pdb is non-nil
-// (Options.Shards > 1) the compiled forms run through the sharded evaluator
-// over the partitioned twin; the uncompiled fallbacks and answer shaping are
-// layout-independent and always read the flat database.
-func (e *Engine) evalPlan(db *storage.Database, pdb *storage.PartitionedDatabase, p *Plan, args []string) ([]storage.Tuple, error) {
-	workers := e.opt.EvalWorkers
-	if workers <= 0 {
-		workers = 1
-	}
-	switch p.Kind {
-	case PlanEquivalent:
-		if p.Compiled == nil { // plan built outside the engine
-			if len(p.Params) > 0 {
-				return nil, errParamsNotCompiled
-			}
-			return datalog.EvalQuery(db, p.Rewriting.Query), nil
-		}
-		if pdb != nil {
-			return p.Compiled.EvalShardedWith(pdb, args, workers), nil
-		}
-		return p.Compiled.EvalParallelWith(db, args, workers), nil
-	case PlanMaxContained:
-		if p.CompiledUnion == nil {
-			if len(p.Params) > 0 {
-				return nil, errParamsNotCompiled
-			}
-			return datalog.EvalUnion(db, p.Union), nil
-		}
-		var out []storage.Tuple
-		seen := make(map[string]bool)
-		for _, cp := range p.CompiledUnion {
-			var tuples []storage.Tuple
-			if pdb != nil {
-				tuples = cp.EvalShardedUnsortedWith(pdb, args, workers)
-			} else {
-				tuples = cp.EvalParallelUnsortedWith(db, args, workers)
-			}
-			for _, t := range tuples {
-				if k := t.Key(); !seen[k] {
-					seen[k] = true
-					out = append(out, t)
-				}
-			}
-		}
-		return storage.SortTuples(out), nil
-	case PlanInverseProgram:
-		var derived []storage.Tuple
-		if p.CompiledProgram != nil {
-			var (
-				tuples []storage.Tuple
-				fst    datalog.FixpointStats
-				err    error
-			)
-			if pdb != nil {
-				tuples, fst, err = p.CompiledProgram.EvalRelationSharded(pdb, p.AnswerPred, workers)
-			} else {
-				tuples, fst, err = p.CompiledProgram.EvalRelation(db, p.AnswerPred, workers)
-			}
-			if err != nil {
-				return nil, err
-			}
-			e.fixpointRuns.Add(1)
-			e.fixpointIters.Add(uint64(fst.Iterations))
-			e.fixpointDrvd.Add(uint64(fst.Derived))
-			derived = tuples
-		} else { // plan built outside the engine
-			out, err := p.Program.Eval(db)
-			if err != nil {
-				return nil, err
-			}
-			if rel := out.Relation(p.AnswerPred); rel != nil {
-				derived = rel.Tuples()
-			}
-		}
-		// A parameterized program derives the answer relation with the
-		// placeholder columns appended to the head: select the rows
-		// matching the binding and project them away.
-		derived = selectParams(derived, p.Arity, args)
-		return datalog.CertainAnswers(derived), nil
-	default:
-		return nil, fmt.Errorf("engine: unknown plan kind %d", p.Kind)
-	}
+	return e.execBudget(context.Background(), p, args, e.opt.Budget)
 }
 
 // selectParams filters answer-relation tuples of arity+len(args) columns
@@ -1040,6 +941,8 @@ func (e *Engine) Stats() Stats {
 		UpdateTuples:       e.updTuples.Load(),
 		DeltaDerived:       e.updDerived.Load(),
 		MaintainTime:       time.Duration(e.maintainTime.Load()),
+		Admission:          e.admit.snapshot(),
+		Panics:             e.panics.Load(),
 		PerStrategy:        make(map[Strategy]StrategyStats, len(e.perStrategy)),
 	}
 	for s, agg := range e.perStrategy {

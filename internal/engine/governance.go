@@ -1,0 +1,674 @@
+package engine
+
+// Resource governance at the serving boundary. Three mechanisms compose
+// here, all opt-in and all zero-cost when disabled:
+//
+//   - Budgets (Budget, Options.Budget, the *Budget entry points) bound one
+//     request: a wall-clock deadline plus caps on result rows, derived
+//     tuples and fixpoint rounds, enforced inside the compiled executors by
+//     amortized guards (datalog.Limits). A tripped budget returns a typed
+//     error — ErrCanceled or ErrBudgetExceeded — with partial-progress
+//     fixpoint stats attached (QueryError) where they exist.
+//
+//   - Admission control (Options.MaxConcurrent) bounds how many requests
+//     execute at once: a weighted semaphore with a bounded FIFO wait queue.
+//     Requests beyond the queue bound — or queued past Options.QueueTimeout
+//     — are shed with an OverloadedError carrying a retry-after hint, so
+//     overload turns into fast, typed refusals instead of goroutine pileup.
+//
+//   - Panic isolation: every public execution entry point recovers panics
+//     from plan evaluation and maintenance into a typed InternalError
+//     (matching ErrInternal), so one poisoned plan or malformed tuple
+//     cannot take down a serving process. Invariant panics still carry
+//     their message and stack in the error for diagnosis.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/ivm"
+	"repro/internal/storage"
+)
+
+// ErrCanceled reports that a request's context was canceled (or its
+// deadline expired) mid-evaluation. It aliases datalog.ErrCanceled so
+// errors.Is matches across layers.
+var ErrCanceled = datalog.ErrCanceled
+
+// ErrBudgetExceeded reports that a request exhausted an explicit resource
+// budget (Budget). It aliases datalog.ErrBudgetExceeded.
+var ErrBudgetExceeded = datalog.ErrBudgetExceeded
+
+// ErrOverloaded reports that admission control shed the request: the
+// engine was at MaxConcurrent with a full wait queue, or the request
+// queued past QueueTimeout. Match with errors.Is; the concrete error is an
+// *OverloadedError carrying a retry-after hint.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// ErrInternal reports that an evaluation panicked and the engine boundary
+// converted the panic into an error. Match with errors.Is; the concrete
+// error is an *InternalError carrying the panic value and stack.
+var ErrInternal = errors.New("engine: internal error")
+
+// ErrArityMismatch reports a caller-supplied arity error at the serving
+// boundary: a prepared query executed with the wrong number of arguments,
+// or a parameterized plan passed to Eval. Match with errors.Is.
+var ErrArityMismatch = errors.New("engine: arity mismatch")
+
+// OverloadedError is the concrete shed error: errors.Is(err, ErrOverloaded)
+// matches it, and RetryAfter hints when capacity is likely to free up
+// (current queue length times the engine's average execution time).
+type OverloadedError struct {
+	// RetryAfter estimates how long until a retried request would be
+	// admitted. A hint, not a guarantee.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("engine: overloaded, retry after %v", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// InternalError is the concrete panic-isolation error:
+// errors.Is(err, ErrInternal) matches it, and the panic value plus stack
+// trace are preserved for diagnosis.
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack trace captured at recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("engine: internal error: %v", e.Value)
+}
+
+// Is makes errors.Is(err, ErrInternal) match.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// QueryError wraps an evaluation failure with the partial-progress fixpoint
+// stats at the moment the run stopped — how many rounds ran and how many
+// tuples were derived before the deadline or budget tripped. Unwrap exposes
+// the cause, so errors.Is(err, ErrCanceled) etc. keep working.
+type QueryError struct {
+	// Err is the underlying failure (wraps ErrCanceled or
+	// ErrBudgetExceeded).
+	Err error
+	// Stats is the partial progress of the fixpoint when it stopped.
+	Stats datalog.FixpointStats
+}
+
+func (e *QueryError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Budget bounds one request. The zero value means unlimited; any subset of
+// fields may be set. Options.Budget applies a default budget to every
+// request; the *Budget entry points override it per call.
+type Budget struct {
+	// Deadline bounds the request's wall-clock time. The request's context
+	// is given a timeout of this duration; evaluation observes expiry
+	// within one guard interval (~1k candidate rows) or one fixpoint round
+	// and returns ErrCanceled.
+	Deadline time.Duration
+	// MaxResultRows bounds the number of answer rows. Exceeding it returns
+	// ErrBudgetExceeded.
+	MaxResultRows int
+	// MaxDerivedTuples bounds the derived-tuple count of inverse-rules
+	// fixpoints and update-batch propagation.
+	MaxDerivedTuples int
+	// MaxFixpointRounds bounds the number of semi-naive rounds of a
+	// fixpoint or propagation.
+	MaxFixpointRounds int
+}
+
+func (b Budget) zero() bool {
+	return b.Deadline <= 0 && b.MaxResultRows <= 0 && b.MaxDerivedTuples <= 0 && b.MaxFixpointRounds <= 0
+}
+
+// limits translates the budget to the executor-level limits.
+func (b Budget) limits() datalog.Limits {
+	return datalog.Limits{
+		MaxRows:    b.MaxResultRows,
+		MaxDerived: b.MaxDerivedTuples,
+		MaxRounds:  b.MaxFixpointRounds,
+	}
+}
+
+// apply attaches the budget's deadline to ctx. The second return is the
+// cancel function to defer, nil when no deadline applies.
+func (b Budget) apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.Deadline <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, b.Deadline)
+}
+
+// AdmissionStats counts admission-control outcomes.
+type AdmissionStats struct {
+	// Admitted counts requests that acquired capacity (immediately or
+	// after queueing).
+	Admitted uint64
+	// Queued counts requests that had to wait for capacity.
+	Queued uint64
+	// Shed counts requests refused immediately because the wait queue was
+	// full.
+	Shed uint64
+	// TimedOut counts queued requests that gave up after QueueTimeout.
+	TimedOut uint64
+	// Canceled counts queued requests whose context fired while waiting.
+	Canceled uint64
+}
+
+// waiter is one request parked in the admission queue.
+type waiter struct {
+	weight int
+	ready  chan struct{} // closed when capacity is granted
+}
+
+// admitter is a weighted semaphore with a bounded FIFO wait queue. A nil
+// *admitter admits everything for free — the engine only allocates one when
+// Options.MaxConcurrent > 0, so ungoverned engines pay a single nil check
+// per request.
+type admitter struct {
+	capacity     int
+	maxQueue     int
+	queueTimeout time.Duration
+	// retryHint estimates time until capacity frees for a shed request,
+	// given the current queue length (wired to the engine's average
+	// execution time).
+	retryHint func(queueLen int) time.Duration
+
+	mu    sync.Mutex
+	inUse int
+	queue []*waiter
+	stats AdmissionStats
+}
+
+// acquire blocks until weight units of capacity are granted, the context
+// fires, or the bounded queue sheds the request. Weights above capacity are
+// clamped so oversized requests (update batches on a capacity-1 engine)
+// still run — alone.
+func (a *admitter) acquire(ctx context.Context, weight int) error {
+	if a == nil {
+		return nil
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.stats.Admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.stats.Shed++
+		hint := a.retryHint(len(a.queue))
+		a.mu.Unlock()
+		return &OverloadedError{RetryAfter: hint}
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.stats.Queued++
+	a.mu.Unlock()
+
+	var timeoutC <-chan time.Time
+	if a.queueTimeout > 0 {
+		timer := time.NewTimer(a.queueTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case <-w.ready:
+		a.count(&a.stats.Admitted)
+		return nil
+	case <-ctx.Done():
+		if !a.abandon(w) {
+			// Lost the race: the grant arrived as the context fired.
+			// Return it so the queue keeps draining.
+			a.release(w.weight)
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			a.count(&a.stats.TimedOut)
+		} else {
+			a.count(&a.stats.Canceled)
+		}
+		return fmt.Errorf("engine: request context fired while queued for admission: %w", ErrCanceled)
+	case <-timeoutC:
+		if !a.abandon(w) {
+			a.release(w.weight)
+		}
+		a.count(&a.stats.TimedOut)
+		a.mu.Lock()
+		hint := a.retryHint(len(a.queue))
+		a.mu.Unlock()
+		return &OverloadedError{RetryAfter: hint}
+	}
+}
+
+// abandon removes w from the wait queue, reporting whether it was still
+// queued. False means the grant already happened and the caller owns it.
+func (a *admitter) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns weight units of capacity and grants FIFO waiters that now
+// fit.
+func (a *admitter) release(weight int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.inUse -= weight
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if a.inUse+w.weight > a.capacity {
+			break
+		}
+		a.queue = a.queue[1:]
+		a.inUse += w.weight
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// count bumps one stats counter under the mutex.
+func (a *admitter) count(c *uint64) {
+	a.mu.Lock()
+	*c++
+	a.mu.Unlock()
+}
+
+// snapshot copies the outcome counters.
+func (a *admitter) snapshot() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// newAdmitter builds the engine's admission controller, or nil when
+// Options.MaxConcurrent leaves admission disabled.
+func newAdmitter(opt Options, retryHint func(int) time.Duration) *admitter {
+	if opt.MaxConcurrent <= 0 {
+		return nil
+	}
+	maxQueue := opt.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 4 * opt.MaxConcurrent
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitter{
+		capacity:     opt.MaxConcurrent,
+		maxQueue:     maxQueue,
+		queueTimeout: opt.QueueTimeout,
+		retryHint:    retryHint,
+	}
+}
+
+// retryHint estimates when a shed request should retry: the engine's
+// average execution time (floored at 1ms so a cold engine still hints
+// something) times the number of requests ahead of it.
+func (e *Engine) retryHint(queueLen int) time.Duration {
+	avg := time.Millisecond
+	if n := e.execCount.Load(); n > 0 {
+		if a := time.Duration(e.execTime.Load() / int64(n)); a > avg {
+			avg = a
+		}
+	}
+	return avg * time.Duration(queueLen+1)
+}
+
+// recoverInternal converts a panic escaping an execution path into a typed
+// *InternalError, counting it. Deferred at every public entry point that
+// evaluates plans or applies batches.
+func (e *Engine) recoverInternal(err *error) {
+	if r := recover(); r != nil {
+		e.panics.Add(1)
+		*err = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// ---- Context- and budget-aware entry points ----
+
+// AnswerCtx is Answer under a context: evaluation observes cancellation
+// within one guard interval and returns ErrCanceled. The engine-wide
+// Options.Budget applies.
+func (e *Engine) AnswerCtx(ctx context.Context, q *cq.Query) ([]storage.Tuple, error) {
+	return e.AnswerBudget(ctx, q, e.opt.Budget)
+}
+
+// AnswerBudget is Answer under a context and an explicit per-call budget
+// overriding Options.Budget.
+func (e *Engine) AnswerBudget(ctx context.Context, q *cq.Query, b Budget) ([]storage.Tuple, error) {
+	pq, err := e.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.execBudget(ctx, pq.plan, pq.args, b)
+}
+
+// ExecCtx is Exec under a context; the engine-wide Options.Budget applies.
+func (pq *PreparedQuery) ExecCtx(ctx context.Context, args ...string) ([]storage.Tuple, error) {
+	return pq.ExecBudget(ctx, pq.eng.opt.Budget, args...)
+}
+
+// ExecBudget is Exec under a context and an explicit per-call budget.
+func (pq *PreparedQuery) ExecBudget(ctx context.Context, b Budget, args ...string) ([]storage.Tuple, error) {
+	if len(args) != len(pq.plan.Params) {
+		return nil, fmt.Errorf("engine: prepared query takes %d argument(s), got %d: %w",
+			len(pq.plan.Params), len(args), ErrArityMismatch)
+	}
+	return pq.eng.execBudget(ctx, pq.plan, args, b)
+}
+
+// EvalCtx is Eval under a context; the engine-wide Options.Budget applies.
+func (e *Engine) EvalCtx(ctx context.Context, p *Plan) ([]storage.Tuple, error) {
+	if len(p.Params) > 0 {
+		return nil, fmt.Errorf("engine: plan takes %d parameter(s); execute it through Prepare/Exec: %w",
+			len(p.Params), ErrArityMismatch)
+	}
+	return e.execBudget(ctx, p, nil, e.opt.Budget)
+}
+
+// execBudget is the single execution path every query entry point funnels
+// through: panic isolation, admission, deadline attachment, snapshot pin,
+// budget-guarded evaluation, counters. With a background context, a zero
+// budget and admission disabled it reduces to the ungoverned fast path —
+// nil guards all the way down.
+func (e *Engine) execBudget(ctx context.Context, p *Plan, args []string, b Budget) (answers []storage.Tuple, err error) {
+	defer e.recoverInternal(&err)
+	if err := e.admit.acquire(ctx, 1); err != nil {
+		return nil, err
+	}
+	defer e.admit.release(1)
+	ctx, cancel := b.apply(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	start := time.Now()
+	db, pdb, release := e.snapshot()
+	if release != nil {
+		defer release()
+	}
+	answers, err = e.evalPlanCtx(ctx, db, pdb, p, args, b.limits())
+	if err != nil {
+		return nil, err
+	}
+	e.execCount.Add(1)
+	e.execTime.Add(int64(time.Since(start)))
+	return answers, nil
+}
+
+// ApplyBatchCtx is ApplyBatch under a context: the propagation observes
+// cancellation within one guard interval or round barrier, and a canceled
+// batch is atomic — the maintainer rolls its database back and neither
+// serving side is touched, so the engine keeps answering from the exact
+// pre-batch state and the batch can simply be retried. The engine-wide
+// Options.Budget applies (deadline, MaxDerivedTuples, MaxFixpointRounds;
+// MaxResultRows does not apply to updates).
+func (e *Engine) ApplyBatchCtx(ctx context.Context, updates map[string][]storage.Tuple) error {
+	return e.ApplyBatchBudget(ctx, updates, e.opt.Budget)
+}
+
+// ApplyBatchBudget is ApplyBatch under a context and an explicit per-call
+// budget, with the same atomicity guarantee as ApplyBatchCtx.
+func (e *Engine) ApplyBatchBudget(ctx context.Context, updates map[string][]storage.Tuple, b Budget) (err error) {
+	if e.live == nil {
+		return ErrNotLive
+	}
+	defer e.recoverInternal(&err)
+	if err := e.admit.acquire(ctx, 2); err != nil {
+		return err
+	}
+	defer e.admit.release(2)
+	ctx, cancel := b.apply(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	l := e.live
+	l.updateMu.Lock()
+	defer l.updateMu.Unlock()
+	start := time.Now()
+	res, err := l.maint.ApplyBatchCtx(ctx, updates, b.limits())
+	if err != nil {
+		// The maintainer rolled back; the serving sides were never touched.
+		return err
+	}
+	// A batch that finishes propagation before the deadline publishes: the
+	// publish step is pure insertion of already-computed deltas and is not
+	// a cancellation point — aborting it would tear the left-right pair.
+	if err := e.publish(res); err != nil {
+		return err
+	}
+	baseNew := 0
+	for _, tuples := range res.BaseInserted {
+		baseNew += len(tuples)
+	}
+	e.updBatches.Add(1)
+	e.updTuples.Add(uint64(baseNew))
+	e.updDerived.Add(uint64(res.Stats.Derived))
+	e.maintainTime.Add(int64(time.Since(start)))
+	return nil
+}
+
+// sideUndo records both serving sides' pre-publish relation sizes plus the
+// active pointer, so a failed or panicking publish can restore the pair.
+type sideUndo struct {
+	active int32
+	flat   [2]map[string]int
+	part   [2]map[string][]int
+}
+
+// snapshotSides captures the publish undo log. Called under updateMu — the
+// sides are only mutated by the (single) writer, so lock-free length reads
+// are safe.
+func (l *liveState) snapshotSides() sideUndo {
+	u := sideUndo{active: l.active.Load()}
+	for i := 0; i < 2; i++ {
+		u.flat[i] = make(map[string]int)
+		db := l.sides[i]
+		for _, pred := range db.Predicates() {
+			u.flat[i][pred] = db.Relation(pred).Len()
+		}
+		if pdb := l.psides[i]; pdb != nil {
+			u.part[i] = make(map[string][]int)
+			for _, pred := range pdb.Predicates() {
+				pr := pdb.Relation(pred)
+				ns := make([]int, pr.NumShards())
+				for s := range ns {
+					ns[s] = pr.Shard(s).Len()
+				}
+				u.part[i][pred] = ns
+			}
+		}
+	}
+	return u
+}
+
+// restoreSides rolls both serving sides back to the undo log under their
+// write locks and restores the active pointer — the pair is mutually
+// consistent (both pre-batch) again even if publish failed halfway.
+func (l *liveState) restoreSides(u sideUndo) {
+	for i := 0; i < 2; i++ {
+		l.locks[i].Lock()
+		db := l.sides[i]
+		for _, pred := range db.Predicates() {
+			n, ok := u.flat[i][pred]
+			if !ok {
+				db.Drop(pred)
+				continue
+			}
+			db.Relation(pred).TruncateTo(n)
+		}
+		if pdb := l.psides[i]; pdb != nil {
+			for _, pred := range pdb.Predicates() {
+				ns, ok := u.part[i][pred]
+				if !ok {
+					pdb.Drop(pred)
+					continue
+				}
+				pr := pdb.Relation(pred)
+				for s, n := range ns {
+					pr.Shard(s).TruncateTo(n)
+				}
+			}
+		}
+		l.locks[i].Unlock()
+	}
+	l.active.Store(u.active)
+}
+
+// publish appends a batch's deltas to both serving sides with the usual
+// left-right flip. On an error or panic partway through, both sides are
+// rolled back to their pre-batch state and the active pointer restored, so
+// the serving pair never stays torn; a panic is re-raised to the entry
+// point's recover guard after the rollback.
+func (e *Engine) publish(res *ivm.BatchResult) error {
+	l := e.live
+	undo := l.snapshotSides()
+	defer func() {
+		if r := recover(); r != nil {
+			l.restoreSides(undo)
+			panic(r)
+		}
+	}()
+	i := 1 - undo.active
+	if err := l.applySide(i, res); err != nil {
+		l.restoreSides(undo)
+		return err
+	}
+	l.active.Store(i)
+	if err := l.applySide(1-i, res); err != nil {
+		l.restoreSides(undo)
+		return err
+	}
+	return nil
+}
+
+// evalPlanCtx is evalPlan under a context and limits: the compiled
+// executors run with amortized cancellation guards, budget trips surface as
+// typed errors, and fixpoint failures carry their partial-progress stats in
+// a QueryError. With a never-firing context and zero limits the guards are
+// nil and the evaluation is bit-for-bit the ungoverned one.
+func (e *Engine) evalPlanCtx(ctx context.Context, db *storage.Database, pdb *storage.PartitionedDatabase, p *Plan, args []string, lim datalog.Limits) ([]storage.Tuple, error) {
+	workers := e.opt.EvalWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	switch p.Kind {
+	case PlanEquivalent:
+		if p.Compiled == nil { // plan built outside the engine
+			if len(p.Params) > 0 {
+				return nil, errParamsNotCompiled
+			}
+			return datalog.EvalQuery(db, p.Rewriting.Query), nil
+		}
+		if pdb != nil {
+			return p.Compiled.EvalShardedCtx(ctx, pdb, args, workers, lim)
+		}
+		return p.Compiled.EvalParallelCtx(ctx, db, args, workers, lim)
+	case PlanMaxContained:
+		if p.CompiledUnion == nil {
+			if len(p.Params) > 0 {
+				return nil, errParamsNotCompiled
+			}
+			return datalog.EvalUnion(db, p.Union), nil
+		}
+		var out []storage.Tuple
+		seen := make(map[string]bool)
+		for _, cp := range p.CompiledUnion {
+			var (
+				tuples []storage.Tuple
+				err    error
+			)
+			if pdb != nil {
+				tuples, err = cp.EvalShardedUnsortedCtx(ctx, pdb, args, workers, lim)
+			} else {
+				tuples, err = cp.EvalParallelUnsortedCtx(ctx, db, args, workers, lim)
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range tuples {
+				if k := t.Key(); !seen[k] {
+					seen[k] = true
+					out = append(out, t)
+				}
+			}
+			// Per-member guards bound each member; the union can still
+			// exceed the row budget across members, so re-check exactly.
+			if lim.MaxRows > 0 && len(out) > lim.MaxRows {
+				return nil, fmt.Errorf("engine: union result has %d row(s), budget is %d: %w",
+					len(out), lim.MaxRows, ErrBudgetExceeded)
+			}
+		}
+		return storage.SortTuples(out), nil
+	case PlanInverseProgram:
+		var derived []storage.Tuple
+		if p.CompiledProgram != nil {
+			var (
+				tuples []storage.Tuple
+				fst    datalog.FixpointStats
+				err    error
+			)
+			if pdb != nil {
+				tuples, fst, err = p.CompiledProgram.EvalRelationShardedCtx(ctx, pdb, p.AnswerPred, workers, lim)
+			} else {
+				tuples, fst, err = p.CompiledProgram.EvalRelationCtx(ctx, db, p.AnswerPred, workers, lim)
+			}
+			e.fixpointRuns.Add(1)
+			e.fixpointIters.Add(uint64(fst.Iterations))
+			e.fixpointDrvd.Add(uint64(fst.Derived))
+			if err != nil {
+				return nil, &QueryError{Err: err, Stats: fst}
+			}
+			derived = tuples
+		} else { // plan built outside the engine
+			out, err := p.Program.Eval(db)
+			if err != nil {
+				return nil, err
+			}
+			if rel := out.Relation(p.AnswerPred); rel != nil {
+				derived = rel.Tuples()
+			}
+		}
+		// A parameterized program derives the answer relation with the
+		// placeholder columns appended to the head: select the rows
+		// matching the binding and project them away.
+		derived = selectParams(derived, p.Arity, args)
+		answers := datalog.CertainAnswers(derived)
+		// The fixpoint guard bounds derivations, not final answers: the
+		// result-row budget applies after selection and minimization.
+		if lim.MaxRows > 0 && len(answers) > lim.MaxRows {
+			return nil, fmt.Errorf("engine: result has %d row(s), budget is %d: %w",
+				len(answers), lim.MaxRows, ErrBudgetExceeded)
+		}
+		return answers, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan kind %d", p.Kind)
+	}
+}

@@ -1,0 +1,174 @@
+package ivm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// dbFingerprint serializes a database's full contents for exact
+// before/after comparison.
+func dbFingerprint(db *storage.Database) string {
+	var b strings.Builder
+	for _, pred := range db.Predicates() {
+		tuples := append([]storage.Tuple(nil), db.Relation(pred).Tuples()...)
+		storage.SortTuples(tuples)
+		b.WriteString(pred)
+		b.WriteString(":")
+		for _, t := range tuples {
+			b.WriteString(t.Key())
+			b.WriteString(";")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func pdbFingerprint(pdb *storage.PartitionedDatabase) string {
+	if pdb == nil {
+		return ""
+	}
+	return dbFingerprint(pdb.Flatten())
+}
+
+func maintainerFingerprint(m *Maintainer) (string, string) {
+	return dbFingerprint(m.Database()), pdbFingerprint(m.Partitioned())
+}
+
+func TestApplyBatchCtxCanceledRollsBack(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		base, views := testViews(t)
+		m, err := New(base, views, Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatBefore, partBefore := maintainerFingerprint(m)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = m.ApplyBatchCtx(ctx, map[string][]storage.Tuple{
+			"s": {{"n", "9"}},
+		}, datalog.Limits{})
+		if !errors.Is(err, datalog.ErrCanceled) {
+			t.Fatalf("shards=%d: err = %v, want ErrCanceled", shards, err)
+		}
+		flatAfter, partAfter := maintainerFingerprint(m)
+		if flatAfter != flatBefore || partAfter != partBefore {
+			t.Fatalf("shards=%d: canceled batch left residue", shards)
+		}
+
+		// The same batch retried without the cancel applies cleanly.
+		res, err := m.ApplyBatch(map[string][]storage.Tuple{"s": {{"n", "9"}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.BaseInserted["s"]) != 1 || len(res.ExtentDelta["v"]) != 1 {
+			t.Fatalf("shards=%d: retry result = %+v", shards, res)
+		}
+	}
+}
+
+func TestApplyBatchCtxBudgetRollsBack(t *testing.T) {
+	base, views := testViews(t)
+	m, err := New(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatBefore, _ := maintainerFingerprint(m)
+
+	// MaxRounds 0 is unlimited; 1 round cannot finish even the seed round's
+	// consequences here? The seed round itself is round 1, so force failure
+	// with a derivation budget of 0 rows... MaxDerived must be >0 to be
+	// active, so use MaxRounds: the batch needs two rounds (seed + quiesce
+	// check) only when something derives; a 1-round budget trips once the
+	// seed round derived tuples and a second round is still needed. If the
+	// budget happens not to trip, the test detects it and uses a stricter
+	// check below.
+	_, err = m.ApplyBatchCtx(context.Background(), map[string][]storage.Tuple{
+		"s": {{"n", "9"}, {"q", "8"}, {"z", "7"}},
+	}, datalog.Limits{MaxDerived: 1})
+	if !errors.Is(err, datalog.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	flatAfter, _ := maintainerFingerprint(m)
+	if flatAfter != flatBefore {
+		t.Fatal("budget-tripped batch left residue")
+	}
+}
+
+func TestApplyBatchCtxValidationUnchanged(t *testing.T) {
+	base, views := testViews(t)
+	m, err := New(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := maintainerFingerprint(m)
+	// Inserting into a view predicate is rejected up front.
+	if _, err := m.ApplyBatchCtx(context.Background(), map[string][]storage.Tuple{
+		"v": {{"a", "b"}},
+	}, datalog.Limits{}); err == nil {
+		t.Fatal("insert into view predicate should fail")
+	}
+	// Arity mismatch is a typed error now.
+	_, err = m.ApplyBatchCtx(context.Background(), map[string][]storage.Tuple{
+		"r": {{"only-one"}},
+	}, datalog.Limits{})
+	var ae *storage.ArityError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T (%v), want *storage.ArityError", err, err)
+	}
+	after, _ := maintainerFingerprint(m)
+	if after != before {
+		t.Fatal("rejected batch mutated the database")
+	}
+}
+
+// TestApplyBatchCtxRepeatedCancelConverges interleaves canceled and
+// successful batches and checks the final state equals applying only the
+// successful ones to a fresh maintainer.
+func TestApplyBatchCtxRepeatedCancelConverges(t *testing.T) {
+	base, views := testViews(t)
+	m, err := New(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []map[string][]storage.Tuple{
+		{"s": {{"n", "9"}}},
+		{"r": {{"c", "q"}}, "s": {{"q", "zz"}}},
+		{"s": {{"m", "7"}}},
+		{"r": {{"d", "z"}}},
+	}
+	var applied []map[string][]storage.Tuple
+	for i, b := range batches {
+		if i%2 == 0 {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := m.ApplyBatchCtx(ctx, b, datalog.Limits{}); !errors.Is(err, datalog.ErrCanceled) {
+				t.Fatalf("batch %d: err = %v", i, err)
+			}
+			continue
+		}
+		if _, err := m.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		applied = append(applied, b)
+	}
+	ref, err := New(base, views, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range applied {
+		if _, err := ref.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := maintainerFingerprint(m)
+	want, _ := maintainerFingerprint(ref)
+	if got != want {
+		t.Fatalf("state diverged from reference:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

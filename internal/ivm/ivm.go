@@ -17,6 +17,7 @@
 package ivm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -149,27 +150,104 @@ func (m *Maintainer) Partitioned() *storage.PartitionedDatabase { return m.pdb }
 // and the batch is validated before anything is mutated. Tuples already
 // present count as duplicates and propagate nothing.
 func (m *Maintainer) ApplyBatch(updates map[string][]storage.Tuple) (*BatchResult, error) {
+	return m.ApplyBatchCtx(context.Background(), updates, datalog.Limits{})
+}
+
+// undoLog records every relation's pre-batch tuple count (per shard for the
+// partitioned mirror). Because batches are insert-only and Relation appends,
+// truncating each relation back to its recorded length — and dropping
+// relations the batch created — restores the exact pre-batch state.
+type undoLog struct {
+	flat map[string]int
+	part map[string][]int
+}
+
+// snapshot captures the pre-batch sizes of both representations. O(number
+// of relations), no tuple copying.
+func (m *Maintainer) snapshot() undoLog {
+	u := undoLog{flat: make(map[string]int)}
+	for _, pred := range m.db.Predicates() {
+		u.flat[pred] = m.db.Relation(pred).Len()
+	}
+	if m.pdb != nil {
+		u.part = make(map[string][]int)
+		for _, pred := range m.pdb.Predicates() {
+			pr := m.pdb.Relation(pred)
+			ns := make([]int, pr.NumShards())
+			for i := range ns {
+				ns[i] = pr.Shard(i).Len()
+			}
+			u.part[pred] = ns
+		}
+	}
+	return u
+}
+
+// restore rolls both representations back to the undo log: relations the
+// batch created are dropped, the rest are truncated to their pre-batch
+// lengths (index postings are unwound with the tuples).
+func (m *Maintainer) restore(u undoLog) {
+	for _, pred := range m.db.Predicates() {
+		n, ok := u.flat[pred]
+		if !ok {
+			m.db.Drop(pred)
+			continue
+		}
+		m.db.Relation(pred).TruncateTo(n)
+	}
+	if m.pdb != nil {
+		for _, pred := range m.pdb.Predicates() {
+			ns, ok := u.part[pred]
+			if !ok {
+				m.pdb.Drop(pred)
+				continue
+			}
+			pr := m.pdb.Relation(pred)
+			for i, n := range ns {
+				pr.Shard(i).TruncateTo(n)
+			}
+		}
+	}
+}
+
+// ApplyBatchCtx is ApplyBatch under a cancellation context and evaluation
+// limits. The batch is atomic: on any error — validation, cancellation
+// (datalog.ErrCanceled), or a budget trip (datalog.ErrBudgetExceeded) —
+// every partially propagated tuple is rolled back and the maintained
+// database is exactly its pre-batch state, so an aborted batch can simply
+// be retried. A panic during propagation also rolls back before being
+// re-raised to the caller's recover guard.
+func (m *Maintainer) ApplyBatchCtx(ctx context.Context, updates map[string][]storage.Tuple, lim datalog.Limits) (res *BatchResult, err error) {
 	start := time.Now()
+	undo := m.snapshot()
+	defer func() {
+		if r := recover(); r != nil {
+			m.restore(undo)
+			panic(r)
+		}
+		if err != nil {
+			m.restore(undo)
+		}
+	}()
 	var (
 		fresh, derived map[string][]storage.Tuple
 		stats          datalog.FixpointStats
-		err            error
 	)
 	if m.pdb != nil {
 		// Propagate per-shard on the partitioned mirror, then replay the
 		// batch's net effect (fresh base facts + derived extent tuples)
 		// into the flat database — plain inserts, no second propagation.
-		fresh, derived, stats, err = m.cp.ApplyInsertsSharded(m.pdb, updates, m.opt.Workers)
+		fresh, derived, stats, err = m.cp.ApplyInsertsShardedCtx(ctx, m.pdb, updates, m.opt.Workers, lim)
 		if err == nil {
 			err = m.replayFlat(fresh, derived)
 		}
 	} else {
-		fresh, derived, stats, err = m.cp.ApplyInserts(m.db, updates, m.opt.Workers)
+		fresh, derived, stats, err = m.cp.ApplyInsertsCtx(ctx, m.db, updates, m.opt.Workers, lim)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("ivm: %w", err)
 	}
-	res := &BatchResult{
+	res = &BatchResult{
 		BaseInserted: fresh,
 		ExtentDelta:  derived,
 		Stats:        stats,

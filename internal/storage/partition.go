@@ -118,6 +118,17 @@ func (pr *PartitionedRelation) Insert(t Tuple) bool {
 	return pr.Owner(t).Insert(t)
 }
 
+// CheckedInsert is Insert with the arity check surfaced as a typed error
+// (*ArityError) instead of a panic — the serving-path variant used at the
+// engine boundary, where a malformed client tuple must not crash the
+// process.
+func (pr *PartitionedRelation) CheckedInsert(t Tuple) (bool, error) {
+	if len(t) != pr.arity {
+		return false, &ArityError{Pred: pr.name, Want: pr.arity, Got: len(t)}
+	}
+	return pr.Owner(t).Insert(t), nil
+}
+
 // Contains reports whether the relation holds the tuple (one shard probe).
 func (pr *PartitionedRelation) Contains(t Tuple) bool { return pr.Owner(t).Contains(t) }
 
@@ -265,7 +276,7 @@ func (pdb *PartitionedDatabase) Relation(pred string) *PartitionedRelation { ret
 func (pdb *PartitionedDatabase) Ensure(pred string, arity, partCol int) (*PartitionedRelation, error) {
 	if pr, ok := pdb.rels[pred]; ok {
 		if pr.arity != arity {
-			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, pr.arity, arity)
+			return nil, &ArityError{Pred: pred, Want: pr.arity, Got: arity}
 		}
 		return pr, nil
 	}
@@ -284,6 +295,11 @@ func (pdb *PartitionedDatabase) Insert(pred string, t Tuple) error {
 	pr.Insert(t)
 	return nil
 }
+
+// Drop removes the relation for pred, if present. Rollback support: a
+// canceled batch that created the relation removes it again (see
+// ivm.Maintainer).
+func (pdb *PartitionedDatabase) Drop(pred string) { delete(pdb.rels, pred) }
 
 // Predicates returns the relation names in sorted order.
 func (pdb *PartitionedDatabase) Predicates() []string {

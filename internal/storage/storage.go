@@ -17,6 +17,20 @@ import (
 	"repro/internal/cq"
 )
 
+// ArityError reports a tuple width (or declared arity) conflicting with a
+// relation's schema — the typed form of the errors the Ensure methods
+// return and the serving-path alternative to Insert's invariant panic
+// (CheckedInsert).
+type ArityError struct {
+	Pred string
+	Want int
+	Got  int
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("storage: relation %s has arity %d, requested %d", e.Pred, e.Want, e.Got)
+}
+
 // Tuple is a row of constant values.
 type Tuple []string
 
@@ -113,6 +127,54 @@ func (r *Relation) Insert(t Tuple) bool {
 		r.indexed = r.version
 	}
 	return true
+}
+
+// CheckedInsert is Insert returning a typed *ArityError instead of
+// panicking on a width mismatch — the serving-boundary variant for tuples
+// arriving from outside the process, where a malformed row is an input
+// error, not a programming error.
+func (r *Relation) CheckedInsert(t Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, &ArityError{Pred: r.name, Want: r.arity, Got: len(t)}
+	}
+	return r.Insert(t), nil
+}
+
+// TruncateTo discards every tuple from position n onward, restoring the
+// relation to the state it had when Len() was n — the rollback primitive
+// for atomic batch application. Dedup keys of the removed tuples are
+// forgotten, and maintained column indexes are repaired in place by
+// popping the removed positions off the affected posting lists (positions
+// are appended in insertion order, so entries >= n sit at each list's
+// tail); stale indexes are simply discarded. It carries the same
+// single-writer requirement as Insert.
+func (r *Relation) TruncateTo(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(r.tuples) {
+		return
+	}
+	removed := r.tuples[n:]
+	maintained := r.indexes != nil && r.indexed == r.version
+	for _, t := range removed {
+		delete(r.seen, t.Key())
+		if maintained {
+			for col, idx := range r.indexes {
+				v := t[col]
+				if ps := idx[v]; len(ps) > 1 {
+					idx[v] = ps[:len(ps)-1]
+				} else {
+					delete(idx, v)
+				}
+			}
+		}
+	}
+	r.tuples = r.tuples[:n]
+	r.version++
+	if maintained {
+		r.indexed = r.version
+	}
 }
 
 // Contains reports whether the relation holds the tuple.
@@ -232,11 +294,12 @@ func NewDatabase() *Database {
 func (db *Database) Relation(pred string) *Relation { return db.rels[pred] }
 
 // Ensure returns the relation for pred, creating it with the given arity if
-// absent. It returns an error if the relation exists with another arity.
+// absent. It returns a typed *ArityError if the relation exists with
+// another arity.
 func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
 	if r, ok := db.rels[pred]; ok {
 		if r.arity != arity {
-			return nil, fmt.Errorf("storage: relation %s has arity %d, requested %d", pred, r.arity, arity)
+			return nil, &ArityError{Pred: pred, Want: r.arity, Got: arity}
 		}
 		return r, nil
 	}
@@ -244,6 +307,10 @@ func (db *Database) Ensure(pred string, arity int) (*Relation, error) {
 	db.rels[pred] = r
 	return r, nil
 }
+
+// Drop removes the relation for pred, if present — the rollback companion
+// to TruncateTo for relations a failed batch created.
+func (db *Database) Drop(pred string) { delete(db.rels, pred) }
 
 // Insert adds a tuple under pred, creating the relation on first use.
 func (db *Database) Insert(pred string, t Tuple) error {
