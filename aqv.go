@@ -56,6 +56,7 @@ import (
 	"repro/internal/inverserules"
 	"repro/internal/ivm"
 	"repro/internal/minicon"
+	"repro/internal/server"
 	"repro/internal/storage"
 )
 
@@ -466,3 +467,42 @@ var (
 	// the decision procedure for parameterized plan candidates.
 	ChoosePlanWith = cost.ChooseWith
 )
+
+// Network serving (see internal/server and cmd/aqvd): the HTTP/JSON
+// front-end over Engine — prepare/exec/query/batch endpoints, prepared-
+// handle session tables, a shared-nothing namespace registry, and the
+// typed-error-to-HTTP mapping (429+Retry-After, 408, 422, 500).
+type (
+	// Server serves a namespace registry over HTTP (Server.Handler).
+	Server = server.Server
+	// ServerRegistry holds the boot-time namespace set.
+	ServerRegistry = server.Registry
+	// ServerNamespace is one shared-nothing tenant: engine + sessions.
+	ServerNamespace = server.Namespace
+	// ServerConfig is the per-namespace config (strategy, budgets,
+	// admission, session TTL/LRU), JSON-decodable from config.json.
+	ServerConfig = server.Config
+	// ServerErrorEnvelope is the machine-readable body of every non-2xx
+	// response, under the "error" key.
+	ServerErrorEnvelope = server.ErrorEnvelope
+	// WireRow / WireRows round-trip tuples through JSON (base64-wrapping
+	// columns that are not valid UTF-8).
+	WireRow  = server.Row
+	WireRows = server.Rows
+)
+
+var (
+	// NewServer wraps a registry in the HTTP front-end.
+	NewServer = server.New
+	// NewServerRegistry returns an empty namespace registry.
+	NewServerRegistry = server.NewRegistry
+	// NewServerNamespace builds one namespace from base data + views.
+	NewServerNamespace = server.NewNamespace
+	// LoadServerDir boots a registry from a config directory (one
+	// subdirectory per namespace: views.dl, base.dl, config.json).
+	LoadServerDir = server.LoadDir
+)
+
+// DefaultServerNamespace is the namespace requests address when they
+// name none.
+const DefaultServerNamespace = server.DefaultNamespace

@@ -13,6 +13,8 @@
 //	                                     # "partitioned" section into the report
 //	aqvbench -governance BENCH_eval.json # measure cancellation-guard overhead,
 //	                                     # merge the "governance" section
+//	aqvbench -serve BENCH_serve.json     # drive the HTTP serving layer with
+//	                                     # closed- and open-loop load
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -38,6 +41,9 @@ func run(args []string) error {
 	evalBench := fs.String("evalbench", "", "measure the evaluator (interp vs compiled cold/warm/parallel) and write machine-readable JSON to this path ('-' = stdout)")
 	scaling := fs.String("scaling", "", "sweep the sharded executor across shard counts (1..max(GOMAXPROCS,8)) and merge the 'partitioned' section into the JSON report at this path ('-' = stdout)")
 	governance := fs.String("governance", "", "measure the cancellation-guard overhead (context-aware vs legacy evaluation) and merge the 'governance' section into the JSON report at this path ('-' = stdout)")
+	serve := fs.String("serve", "", "drive the HTTP serving layer (closed- and open-loop load) and write BENCH_serve.json to this path ('-' = stdout)")
+	serveDur := fs.Duration("serve-dur", 2*time.Second, "wall time per -serve load point")
+	serveConc := fs.String("serve-conc", "4,16", "closed-loop worker counts for -serve (comma-separated, at least two)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +59,9 @@ func run(args []string) error {
 	}
 	if *governance != "" {
 		return runGovernanceBench(*governance)
+	}
+	if *serve != "" {
+		return runServeBench(*serve, *serveDur, *serveConc)
 	}
 	if strings.EqualFold(*exp, "all") {
 		for _, id := range experiments.IDs() {

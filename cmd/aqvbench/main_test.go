@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -26,5 +31,62 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestParseConcLevels(t *testing.T) {
+	got, err := parseConcLevels("4, 16")
+	if err != nil || len(got) != 2 || got[0] != 4 || got[1] != 16 {
+		t.Fatalf("parseConcLevels = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "4", "4,x", "4,0", "-1,2"} {
+		if _, err := parseConcLevels(bad); err == nil {
+			t.Fatalf("parseConcLevels(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunServeBenchSmoke drives the serving-layer load generator end to end
+// with short points and checks the report shape: both regimes present, every
+// point accounted (requests = ok+shed+errors, no errors), percentiles
+// ordered.
+func TestRunServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the serving stack and drives load")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := run([]string{"-serve", path, "-serve-dur", "150ms", "-serve-conc", "2,8"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ServeBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Closed) != 2 || len(report.Open) != 2 {
+		t.Fatalf("points: closed=%d open=%d", len(report.Closed), len(report.Open))
+	}
+	if report.SaturationRPS <= 0 {
+		t.Fatal("no saturation rate measured")
+	}
+	for _, p := range append(append([]ServeBenchPoint{}, report.Closed...), report.Open...) {
+		if p.Errors != 0 {
+			t.Fatalf("%s point had %d errors", p.Mode, p.Errors)
+		}
+		if p.Requests != p.OK+p.Shed {
+			t.Fatalf("%s point: requests %d != ok %d + shed %d", p.Mode, p.Requests, p.OK, p.Shed)
+		}
+		if p.OK == 0 || p.P50Ms <= 0 || p.P50Ms > p.P95Ms || p.P95Ms > p.P99Ms {
+			t.Fatalf("%s point: bad latency summary %+v", p.Mode, p)
+		}
+		if int(p.Admitted) != p.OK {
+			t.Fatalf("%s point: server admitted %d != client ok %d", p.Mode, p.Admitted, p.OK)
+		}
+		if int(p.ShedSrv) != p.Shed {
+			t.Fatalf("%s point: server shed %d != client 429s %d", p.Mode, p.ShedSrv, p.Shed)
+		}
 	}
 }

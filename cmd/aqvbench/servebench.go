@@ -1,0 +1,462 @@
+package main
+
+// Serving-layer load generator: boots an in-process aqvd-equivalent HTTP
+// server (a server.Server on a real TCP listener) over a point-lookup
+// workload with admission control enabled, then drives it in two regimes
+// and writes BENCH_serve.json:
+//
+//   - closed loop: N workers issue prepared-exec requests back to back, at
+//     two or more concurrency levels. Throughput at the highest level is
+//     the measured saturation rate.
+//   - open loop: requests arrive on a fixed timer regardless of
+//     completions, at rates below and above saturation. Above saturation
+//     the admission queue fills and the server sheds with 429; the report
+//     records both the client-observed 429s and the server-side admission
+//     counter deltas.
+//
+// Latency percentiles are reported per point (p50/p95/p99, milliseconds,
+// queueing included — in an open loop the queue wait is the story).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// ServeBenchPoint is one load point: a (mode, level) pair with its
+// client-side latency distribution and the server-side admission deltas.
+type ServeBenchPoint struct {
+	// Mode is "closed" (fixed worker count) or "open" (fixed arrival rate).
+	Mode string `json:"mode"`
+	// Concurrency is the closed-loop worker count (0 for open loop).
+	Concurrency int `json:"concurrency,omitempty"`
+	// TargetRPS is the open-loop arrival rate (0 for closed loop).
+	TargetRPS float64 `json:"target_rps,omitempty"`
+	// DurationS is the measured wall time of the point.
+	DurationS float64 `json:"duration_s"`
+	// Requests = OK + Shed + Errors (client view).
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	// Shed counts client-observed 429 responses; every one carried a
+	// Retry-After header (asserted, not assumed).
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// ThroughputRPS is OK responses per second of wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency percentiles over all non-error responses, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Server-side admission counter deltas over the point (from /v1/stats).
+	Admitted uint64 `json:"admitted"`
+	Queued   uint64 `json:"queued"`
+	ShedSrv  uint64 `json:"shed_server"`
+	TimedOut uint64 `json:"timed_out,omitempty"`
+	Canceled uint64 `json:"canceled,omitempty"`
+}
+
+// ServeBenchReport is the top-level BENCH_serve.json document.
+type ServeBenchReport struct {
+	Command    string `json:"command"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Tuples is the serving database size; MaxConcurrent/MaxQueue the
+	// admission configuration the server ran with.
+	Tuples        int `json:"tuples"`
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// SaturationRPS is the closed-loop throughput at the highest worker
+	// count — the rate the open-loop points are derived from.
+	SaturationRPS float64           `json:"saturation_rps"`
+	Closed        []ServeBenchPoint `json:"closed"`
+	Open          []ServeBenchPoint `json:"open"`
+}
+
+// The admission configuration is fixed, not host-derived: a small
+// execution cap and a short queue make the engine — not the HTTP client —
+// the bottleneck, so the open-loop overload point actually sheds. The
+// served query is a projection of the full join: heavy to evaluate
+// (admission capacity is held for the whole evaluation) but only a
+// handful of rows to encode, so per-request work is dominated by the
+// governed section rather than by HTTP or JSON overhead — otherwise
+// "saturation" measures the load generator, not the server.
+const (
+	serveBenchMaxConcurrent = 4
+	serveBenchMaxQueue      = 8
+)
+
+// serveBenchBase is the serving workload: n r-tuples fanning into 40
+// s-tuples, served through the materialized join view. Only the join view
+// is defined — the served query rewrites to a scan of its n-row extent, so
+// per-request evaluation time scales with n. n is chosen so that scan runs
+// well past the Go scheduler's ~10ms preemption quantum: on a single-core
+// host, shorter CPU-bound admission windows effectively serialize (a
+// goroutine is almost never preempted inside one), concurrency inside the
+// governed section never reaches the cap, and the queue/shed path — the
+// thing this benchmark exists to exercise — never fires.
+func serveBenchBase(n int) (*storage.Database, []*cq.Query, error) {
+	db := storage.NewDatabase()
+	for i := 0; i < n; i++ {
+		db.Insert("r", storage.Tuple{fmt.Sprintf("k%d", i), fmt.Sprintf("m%d", i%40)})
+	}
+	for j := 0; j < 40; j++ {
+		db.Insert("s", storage.Tuple{fmt.Sprintf("m%d", j), fmt.Sprintf("x%d", j%7)})
+	}
+	views, err := cq.ParseViews("v(A,B) :- r(A,C), s(C,B).")
+	return db, views, err
+}
+
+// admissionDeltas reads the default namespace's admission counters from
+// /v1/stats.
+func admissionDeltas(client *http.Client, base string) (st struct {
+	Admitted, Queued, Shed, TimedOut, Canceled uint64
+}, err error) {
+	resp, err := client.Get(base + "/v1/stats?ns=" + server.DefaultNamespace)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: %d %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		Engine struct {
+			Admission struct {
+				Admitted, Queued, Shed, TimedOut, Canceled uint64
+			} `json:"admission"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return st, err
+	}
+	st.Admitted = doc.Engine.Admission.Admitted
+	st.Queued = doc.Engine.Admission.Queued
+	st.Shed = doc.Engine.Admission.Shed
+	st.TimedOut = doc.Engine.Admission.TimedOut
+	st.Canceled = doc.Engine.Admission.Canceled
+	return st, nil
+}
+
+// percentileMs returns the q-th percentile of the sorted latency sample in
+// milliseconds (nearest-rank).
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}
+
+// serveLoadResult accumulates one load point's client-side observations.
+type serveLoadResult struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        int
+	shed      int
+	errs      int
+	firstErr  error
+}
+
+func (r *serveLoadResult) record(d time.Duration, status int, hasRetryAfter bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err != nil:
+		r.errs++
+		if r.firstErr == nil {
+			r.firstErr = err
+		}
+	case status == http.StatusOK:
+		r.ok++
+		r.latencies = append(r.latencies, d)
+	case status == http.StatusTooManyRequests:
+		if !hasRetryAfter {
+			r.errs++
+			if r.firstErr == nil {
+				r.firstErr = fmt.Errorf("429 without Retry-After header")
+			}
+			return
+		}
+		r.shed++
+		r.latencies = append(r.latencies, d)
+	default:
+		r.errs++
+		if r.firstErr == nil {
+			r.firstErr = fmt.Errorf("unexpected status %d", status)
+		}
+	}
+}
+
+func (r *serveLoadResult) point(mode string, wall time.Duration) (ServeBenchPoint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstErr != nil {
+		return ServeBenchPoint{}, r.firstErr
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	secs := wall.Seconds()
+	p := ServeBenchPoint{
+		Mode:      mode,
+		DurationS: secs,
+		Requests:  r.ok + r.shed + r.errs,
+		OK:        r.ok,
+		Shed:      r.shed,
+		Errors:    r.errs,
+		P50Ms:     percentileMs(r.latencies, 0.50),
+		P95Ms:     percentileMs(r.latencies, 0.95),
+		P99Ms:     percentileMs(r.latencies, 0.99),
+	}
+	if secs > 0 {
+		p.ThroughputRPS = float64(r.ok) / secs
+	}
+	return p, nil
+}
+
+// fireExec issues one prepared-exec request and records it.
+func fireExec(client *http.Client, url string, body []byte, res *serveLoadResult) {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	d := time.Since(start)
+	if err != nil {
+		res.record(d, 0, false, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	res.record(d, resp.StatusCode, resp.Header.Get("Retry-After") != "", nil)
+}
+
+// runServeBench boots the serving stack, runs the closed- and open-loop
+// sweeps and writes the report to path ("-" = stdout).
+func runServeBench(path string, dur time.Duration, concSpec string) error {
+	concLevels, err := parseConcLevels(concSpec)
+	if err != nil {
+		return err
+	}
+
+	const tuples = 400000
+	base, views, err := serveBenchBase(tuples)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{MaxConcurrent: serveBenchMaxConcurrent, MaxQueue: serveBenchMaxQueue}
+	ns, err := server.NewNamespace(server.DefaultNamespace, base, views, cfg)
+	if err != nil {
+		return err
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(ns); err != nil {
+		return err
+	}
+	srv := server.New(reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	baseURL := "http://" + ln.Addr().String()
+
+	// A pooled client with a hard connection cap: client and server share
+	// one process, so every connection costs two file descriptors, and an
+	// uncapped transport dialing into a burst can exhaust the fd limit.
+	// Past the cap, requests wait for a free connection — queueing that an
+	// open loop should count, and does.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+		MaxConnsPerHost:     512,
+	}}
+
+	// One prepared handle — the join projection — executed the whole run.
+	prepBody, _ := json.Marshal(map[string]any{"query": "q(Y) :- r(X,Z), s(Z,Y)."})
+	resp, err := client.Post(baseURL+"/v1/prepare", "application/json", bytes.NewReader(prepBody))
+	if err != nil {
+		return err
+	}
+	praw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prepare: %d %s", resp.StatusCode, praw)
+	}
+	var prep struct {
+		Handle string `json:"handle"`
+	}
+	if err := json.Unmarshal(praw, &prep); err != nil {
+		return err
+	}
+
+	// Pre-encoded request body: no JSON encoding inside the timed loops.
+	execBody, _ := json.Marshal(map[string]any{"handle": prep.Handle, "args": []string{}})
+
+	report := ServeBenchReport{
+		Command:       fmt.Sprintf("aqvbench -serve %s -serve-dur %s -serve-conc %s", path, dur, concSpec),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Tuples:        ns.Engine.Database().TotalTuples(),
+		MaxConcurrent: serveBenchMaxConcurrent,
+		MaxQueue:      serveBenchMaxQueue,
+	}
+
+	// runPoint measures one load point: snapshot admission counters, drive
+	// the load, snapshot again, diff.
+	runPoint := func(mode string, drive func(res *serveLoadResult) time.Duration) (ServeBenchPoint, error) {
+		before, err := admissionDeltas(client, baseURL)
+		if err != nil {
+			return ServeBenchPoint{}, err
+		}
+		var res serveLoadResult
+		wall := drive(&res)
+		after, err := admissionDeltas(client, baseURL)
+		if err != nil {
+			return ServeBenchPoint{}, err
+		}
+		p, err := res.point(mode, wall)
+		if err != nil {
+			return ServeBenchPoint{}, err
+		}
+		p.Admitted = after.Admitted - before.Admitted
+		p.Queued = after.Queued - before.Queued
+		p.ShedSrv = after.Shed - before.Shed
+		p.TimedOut = after.TimedOut - before.TimedOut
+		p.Canceled = after.Canceled - before.Canceled
+		return p, nil
+	}
+
+	// Closed loop: conc workers, back-to-back requests until the deadline.
+	closedLoop := func(conc int) func(*serveLoadResult) time.Duration {
+		return func(res *serveLoadResult) time.Duration {
+			start := time.Now()
+			deadline := start.Add(dur)
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for time.Now().Before(deadline) {
+						fireExec(client, baseURL+"/v1/exec", execBody, res)
+					}
+				}()
+			}
+			wg.Wait()
+			return time.Since(start)
+		}
+	}
+	for _, conc := range concLevels {
+		p, err := runPoint("closed", closedLoop(conc))
+		if err != nil {
+			return fmt.Errorf("closed conc=%d: %w", conc, err)
+		}
+		p.Concurrency = conc
+		fmt.Printf("closed conc=%-3d ok=%-7d shed=%-5d %.0f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			conc, p.OK, p.Shed, p.ThroughputRPS, p.P50Ms, p.P95Ms, p.P99Ms)
+		report.Closed = append(report.Closed, p)
+		if p.ThroughputRPS > report.SaturationRPS {
+			report.SaturationRPS = p.ThroughputRPS
+		}
+	}
+
+	// Open loop: fixed arrival schedule, one goroutine per arrival —
+	// completions never gate arrivals, so queueing (and, past saturation,
+	// shedding) is visible instead of hidden in a closed loop's back
+	// pressure. Rates bracket the measured saturation point.
+	openLoop := func(rate float64) func(*serveLoadResult) time.Duration {
+		return func(res *serveLoadResult) time.Duration {
+			interval := time.Duration(float64(time.Second) / rate)
+			start := time.Now()
+			var wg sync.WaitGroup
+			// In-flight backstop: 2048 outstanding requests is far past any
+			// stable operating point for this workload, so the cap only
+			// engages in a death spiral — where it keeps the generator from
+			// exhausting file descriptors instead of crashing the run.
+			slots := make(chan struct{}, 2048)
+			for i := 0; ; i++ {
+				next := start.Add(time.Duration(i) * interval)
+				if next.Sub(start) >= dur {
+					break
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				slots <- struct{}{}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					fireExec(client, baseURL+"/v1/exec", execBody, res)
+				}()
+			}
+			wg.Wait()
+			return time.Since(start)
+		}
+	}
+	for _, frac := range []float64{0.7, 1.3} {
+		rate := report.SaturationRPS * frac
+		if rate < 1 {
+			rate = 1
+		}
+		p, err := runPoint("open", openLoop(rate))
+		if err != nil {
+			return fmt.Errorf("open rate=%.0f: %w", rate, err)
+		}
+		p.TargetRPS = rate
+		fmt.Printf("open  rate=%-7.0f ok=%-7d shed=%-5d (server shed=%d) p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			rate, p.OK, p.Shed, p.ShedSrv, p.P50Ms, p.P95Ms, p.P99Ms)
+		report.Open = append(report.Open, p)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// parseConcLevels parses the -serve-conc list ("4,16"). At least two levels
+// are required — a single point cannot show how latency moves with load.
+func parseConcLevels(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -serve-conc %q: want comma-separated positive ints", spec)
+		}
+		out = append(out, n)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("-serve-conc needs at least two levels, got %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+const testViews = `
+	v(A,B)  :- r(A,C), s(C,B).
+	vr(A,B) :- r(A,B).
+`
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// inlineDir writes a views.dl + base.dl pair into a temp dir.
+func inlineDir(t *testing.T) (views, base string) {
+	t.Helper()
+	dir := t.TempDir()
+	views = filepath.Join(dir, "views.dl")
+	base = filepath.Join(dir, "base.dl")
+	writeFile(t, views, testViews)
+	var b strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "r(k%d, m%d).\n", i, i%4)
+	}
+	for j := 0; j < 4; j++ {
+		fmt.Fprintf(&b, "s(m%d, x%d).\n", j, j)
+	}
+	writeFile(t, base, b.String())
+	return views, base
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// startDaemon runs the daemon with the given args and returns its base URL
+// plus a cancel that triggers graceful shutdown and waits for exit.
+func startDaemon(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	notifyAddr = addrCh
+	t.Cleanup(func() { notifyAddr = nil })
+
+	runErr := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		runErr <- run(ctx, append([]string{"-listen", "127.0.0.1:0"}, args...), &out)
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr.String(), func() error {
+			cancel()
+			select {
+			case err := <-runErr:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("daemon did not exit; output:\n%s", out.String())
+			}
+		}
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never started listening\n%s", out.String())
+	}
+	panic("unreachable")
+}
+
+// TestDaemonEndToEnd boots an inline live namespace, runs the whole request
+// surface over real HTTP, then shuts down gracefully via context cancel
+// (the same path a SIGTERM takes).
+func TestDaemonEndToEnd(t *testing.T) {
+	views, base := inlineDir(t)
+	url, shutdown := startDaemon(t, "-views", views, "-base", base, "-live")
+
+	resp, raw := postJSON(t, url+"/v1/prepare", map[string]any{"query": "q(Y) :- r(k1,Z), s(Z,Y)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare: %d %s", resp.StatusCode, raw)
+	}
+	var prep struct {
+		Handle    string   `json:"handle"`
+		NumParams int      `json:"num_params"`
+		Args      []string `json:"args"`
+	}
+	if err := json.Unmarshal(raw, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Handle == "" || prep.NumParams != 1 {
+		t.Fatalf("prepare = %+v", prep)
+	}
+
+	resp, raw = postJSON(t, url+"/v1/exec", map[string]any{"handle": prep.Handle, "args": []string{"k2"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec: %d %s", resp.StatusCode, raw)
+	}
+	var ans struct {
+		Answers [][]string `json:"answers"`
+		Count   int        `json:"count"`
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 1 || ans.Answers[0][0] != "x2" {
+		t.Fatalf("exec answers = %+v", ans)
+	}
+
+	// Batch insert, then observe it through a one-shot query.
+	resp, raw = postJSON(t, url+"/v1/batch", map[string]any{
+		"updates": map[string][][]string{"r": {{"k100", "m0"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, url+"/v1/query", map[string]any{"query": "q(Y) :- r(k100,Z), s(Z,Y)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 1 || ans.Answers[0][0] != "x0" {
+		t.Fatalf("post-batch answers = %+v", ans)
+	}
+
+	// Health + stats.
+	hr, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK || !bytes.Contains(hraw, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", hr.StatusCode, hraw)
+	}
+	sr, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw, _ := io.ReadAll(sr.Body)
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK || !bytes.Contains(sraw, []byte(`"default"`)) {
+		t.Fatalf("stats: %d %s", sr.StatusCode, sraw)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting connections after shutdown")
+	}
+}
+
+// TestDaemonConfigDir boots from a namespace config directory and routes to
+// both namespaces.
+func TestDaemonConfigDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, ns := range []string{"alpha", "beta"} {
+		nsDir := filepath.Join(dir, ns)
+		if err := os.Mkdir(nsDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, filepath.Join(nsDir, "views.dl"), testViews)
+		writeFile(t, filepath.Join(nsDir, "base.dl"), fmt.Sprintf("r(a%s, m0).\ns(m0, x0).\n", ns))
+	}
+	writeFile(t, filepath.Join(dir, "beta", "config.json"), `{"strategy": "inverse-rules", "live_updates": true}`)
+
+	url, shutdown := startDaemon(t, "-config", dir)
+	for _, ns := range []string{"alpha", "beta"} {
+		resp, raw := postJSON(t, url+"/v1/ns/"+ns+"/query", map[string]any{"query": "q(X,Y) :- r(X,Z), s(Z,Y)."})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s query: %d %s", ns, resp.StatusCode, raw)
+		}
+		if !bytes.Contains(raw, []byte("a"+ns)) {
+			t.Fatalf("%s answers missing its own data: %s", ns, raw)
+		}
+	}
+	// beta is live, alpha is frozen.
+	batch := map[string]any{"updates": map[string][][]string{"r": {{"anew", "m0"}}}}
+	resp, _ := postJSON(t, url+"/v1/ns/beta/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta batch: %d", resp.StatusCode)
+	}
+	resp, raw := postJSON(t, url+"/v1/ns/alpha/batch", batch)
+	if resp.StatusCode != http.StatusConflict || !bytes.Contains(raw, []byte("not_live")) {
+		t.Fatalf("alpha batch: %d %s", resp.StatusCode, raw)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRegistryFlagErrors(t *testing.T) {
+	if _, err := buildRegistry("", "", "", server.Config{}); err == nil {
+		t.Fatal("no mode selected should error")
+	}
+	if _, err := buildRegistry("x", "y", "", server.Config{}); err == nil {
+		t.Fatal("both modes selected should error")
+	}
+	if _, err := buildRegistry(t.TempDir(), "", "", server.Config{}); err == nil {
+		t.Fatal("empty config dir should error")
+	}
+}

@@ -543,34 +543,42 @@ func (p *CompiledPlan) evalUnsorted(db *storage.Database, args []string, workers
 			}
 		}
 	}
-	return p.combineComponents(parts, base)
+	return p.combineComponents(parts, base, gs)
 }
 
 // combineComponents combines the per-component distinct projections into
 // head tuples. Components bind disjoint head variables, so distinct row
 // combinations yield distinct head tuples — no cross-component dedup is
-// needed.
-func (p *CompiledPlan) combineComponents(parts [][][]string, base []string) []storage.Tuple {
+// needed. The product can dwarf the component scans (it multiplies where
+// they add), so the combine loop carries its own guard: cancellation lands
+// within one guardInterval of output tuples, not after the full product.
+func (p *CompiledPlan) combineComponents(parts [][][]string, base []string, gs *guardState) []storage.Tuple {
 	var out []storage.Tuple
+	g := gs.child()
 	frame := make([]string, p.numSlots)
 	copy(frame, base) // head positions may read parameter slots
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == len(p.components) {
+			if g != nil && g.tick() {
+				return false
+			}
 			out = append(out, p.headTuple(frame))
-			return
+			return true
 		}
 		c := &p.components[i]
 		if len(c.headSlots) == 0 {
-			rec(i + 1)
-			return
+			return rec(i + 1)
 		}
 		for _, row := range parts[i] {
 			for j, s := range c.headSlots {
 				frame[s] = row[j]
 			}
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0)
 	return out

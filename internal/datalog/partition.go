@@ -619,7 +619,7 @@ func (p *CompiledPlan) evalShardedUnsorted(pdb *storage.PartitionedDatabase, arg
 			}
 		}
 	}
-	return p.combineComponents(parts, base)
+	return p.combineComponents(parts, base, gs)
 }
 
 // componentRowsSharded is componentRows over a partitioned database.

@@ -329,9 +329,19 @@ func newAdmitter(opt Options, retryHint func(int) time.Duration) *admitter {
 	}
 }
 
+// MinRetryAfter floors every OverloadedError.RetryAfter hint. A cold or
+// fast engine observes sub-millisecond average execution times, and a hint
+// in the microsecond range tells clients to hammer an engine that just shed
+// them — and truncates to Retry-After: 0 once mapped onto HTTP integer
+// seconds, a retry-storm invitation. Shedding only happens when the wait
+// queue is already full, so the earliest useful retry is never sooner than
+// a sizeable fraction of the queue drain time.
+const MinRetryAfter = 50 * time.Millisecond
+
 // retryHint estimates when a shed request should retry: the engine's
 // average execution time (floored at 1ms so a cold engine still hints
-// something) times the number of requests ahead of it.
+// something) times the number of requests ahead of it, never below
+// MinRetryAfter.
 func (e *Engine) retryHint(queueLen int) time.Duration {
 	avg := time.Millisecond
 	if n := e.execCount.Load(); n > 0 {
@@ -339,7 +349,65 @@ func (e *Engine) retryHint(queueLen int) time.Duration {
 			avg = a
 		}
 	}
-	return avg * time.Duration(queueLen+1)
+	hint := avg * time.Duration(queueLen+1)
+	if hint < MinRetryAfter {
+		hint = MinRetryAfter
+	}
+	return hint
+}
+
+// Stable machine-readable error codes for the serving boundary. Error
+// strings are for humans; network clients need to distinguish a budget trip
+// from a cancel without string matching, so every typed engine error maps
+// onto one of these. The set only grows — codes are wire contract.
+const (
+	// CodeOverloaded: admission control shed the request (ErrOverloaded).
+	CodeOverloaded = "overloaded"
+	// CodeBudgetExceeded: the request exhausted an explicit resource
+	// budget (ErrBudgetExceeded).
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeCanceled: the request's context was canceled or its deadline
+	// expired mid-evaluation (ErrCanceled).
+	CodeCanceled = "canceled"
+	// CodeInternal: an evaluation panicked and was converted to an error at
+	// the engine boundary (ErrInternal).
+	CodeInternal = "internal"
+	// CodeArityMismatch: wrong Exec argument count, parameterized plan in
+	// Eval, or a tuple of the wrong width (ErrArityMismatch,
+	// storage.ArityError).
+	CodeArityMismatch = "arity_mismatch"
+	// CodeNotLive: a mutation on an engine built without
+	// Options.LiveUpdates (ErrNotLive).
+	CodeNotLive = "not_live"
+)
+
+// ErrorCode maps a typed engine error to its stable machine-readable code,
+// or "" when the error is nil or carries no engine type (callers pick their
+// own code for those — a parse error, say). Wrapping is respected: a
+// QueryError around ErrBudgetExceeded reports CodeBudgetExceeded, and a
+// bare context cancellation maps to CodeCanceled like the typed form.
+func ErrorCode(err error) string {
+	var arity *storage.ArityError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrBudgetExceeded):
+		return CodeBudgetExceeded
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	case errors.Is(err, ErrArityMismatch), errors.As(err, &arity):
+		return CodeArityMismatch
+	case errors.Is(err, ErrNotLive):
+		return CodeNotLive
+	case errors.Is(err, ErrInternal):
+		return CodeInternal
+	default:
+		return ""
+	}
 }
 
 // recoverInternal converts a panic escaping an execution path into a typed

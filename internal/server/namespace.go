@@ -1,0 +1,254 @@
+package server
+
+// Multi-tenant namespaces: one engine per view-set namespace, shared
+// nothing. A namespace is loaded from a config directory at startup —
+// one subdirectory per namespace holding its view definitions, base facts
+// and engine options — and addressed by path (/v1/ns/{name}/...) or by the
+// "namespace" request field. Engines never share storage, catalogs, plan
+// caches or admission queues, so one tenant's overload or poisoned plan
+// cannot touch another's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// DefaultNamespace is the namespace requests address when they name none.
+const DefaultNamespace = "default"
+
+// Config configures one namespace's engine and session table. The zero
+// value serves: equivalent-first strategy, no sharding, frozen base, no
+// admission control, unlimited budget.
+type Config struct {
+	// Strategy is the engine planning strategy ("equivalent-first",
+	// "bucket", "minicon", "inverse-rules", "auto"; CLI aliases accepted).
+	Strategy string `json:"strategy,omitempty"`
+	// MaxResults bounds the equivalent rewritings enumerated per plan.
+	MaxResults int `json:"max_results,omitempty"`
+	// CacheSize bounds the engine plan LRU.
+	CacheSize int `json:"cache_size,omitempty"`
+	// EvalWorkers fans a single evaluation across goroutines.
+	EvalWorkers int `json:"eval_workers,omitempty"`
+	// Shards hash-partitions the serving snapshots.
+	Shards int `json:"shards,omitempty"`
+	// LiveUpdates enables /v1/batch (insert batches with incremental view
+	// maintenance).
+	LiveUpdates bool `json:"live_updates,omitempty"`
+	// MaxConcurrent, MaxQueue and QueueTimeoutMS configure admission
+	// control (see engine.Options).
+	MaxConcurrent  int `json:"max_concurrent,omitempty"`
+	MaxQueue       int `json:"max_queue,omitempty"`
+	QueueTimeoutMS int `json:"queue_timeout_ms,omitempty"`
+	// DeadlineMS, MaxResultRows, MaxDerivedTuples and MaxFixpointRounds are
+	// the default per-request budget; request budgets override per field.
+	DeadlineMS        int `json:"deadline_ms,omitempty"`
+	MaxResultRows     int `json:"max_result_rows,omitempty"`
+	MaxDerivedTuples  int `json:"max_derived_tuples,omitempty"`
+	MaxFixpointRounds int `json:"max_fixpoint_rounds,omitempty"`
+	// MaxSessions caps the prepared-handle session table (default 1024);
+	// SessionTTLMS expires idle handles (default 15 minutes).
+	MaxSessions  int `json:"max_sessions,omitempty"`
+	SessionTTLMS int `json:"session_ttl_ms,omitempty"`
+}
+
+// budget assembles the namespace's default per-request budget.
+func (c Config) budget() engine.Budget {
+	return engine.Budget{
+		Deadline:          time.Duration(c.DeadlineMS) * time.Millisecond,
+		MaxResultRows:     c.MaxResultRows,
+		MaxDerivedTuples:  c.MaxDerivedTuples,
+		MaxFixpointRounds: c.MaxFixpointRounds,
+	}
+}
+
+// options assembles the engine options.
+func (c Config) options() (engine.Options, error) {
+	opt := engine.Options{
+		MaxResults:    c.MaxResults,
+		CacheSize:     c.CacheSize,
+		EvalWorkers:   c.EvalWorkers,
+		Shards:        c.Shards,
+		LiveUpdates:   c.LiveUpdates,
+		Budget:        c.budget(),
+		MaxConcurrent: c.MaxConcurrent,
+		MaxQueue:      c.MaxQueue,
+		QueueTimeout:  time.Duration(c.QueueTimeoutMS) * time.Millisecond,
+	}
+	if c.Strategy != "" {
+		s, err := engine.ParseStrategy(c.Strategy)
+		if err != nil {
+			return opt, err
+		}
+		opt.Strategy = s
+	}
+	return opt, nil
+}
+
+// Namespace is one tenant: an engine, its default budget, and the session
+// table of prepared handles.
+type Namespace struct {
+	// Name is the namespace's registry key and path segment.
+	Name string
+	// Engine answers this namespace's queries.
+	Engine *engine.Engine
+	// Budget is the namespace's default per-request budget (request budgets
+	// override it field-wise).
+	Budget engine.Budget
+	// Live reports whether /v1/batch is accepted.
+	Live bool
+
+	sessions *sessionTable
+}
+
+// NewNamespace materialises the views over base and builds a namespace
+// serving them under the given config.
+func NewNamespace(name string, base *storage.Database, views []*cq.Query, cfg Config) (*Namespace, error) {
+	opt, err := cfg.options()
+	if err != nil {
+		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+	eng, err := engine.NewFromBase(base, views, opt)
+	if err != nil {
+		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+	return &Namespace{
+		Name:     name,
+		Engine:   eng,
+		Budget:   cfg.budget(),
+		Live:     cfg.LiveUpdates,
+		sessions: newSessionTable(cfg.MaxSessions, time.Duration(cfg.SessionTTLMS)*time.Millisecond),
+	}, nil
+}
+
+// Registry holds the namespaces a server routes to. Shared-nothing: every
+// namespace owns its engine outright.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Namespace
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Namespace)}
+}
+
+// Add registers a namespace; a duplicate name is an error.
+func (r *Registry) Add(ns *Namespace) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[ns.Name]; ok {
+		return fmt.Errorf("server: duplicate namespace %q", ns.Name)
+	}
+	r.m[ns.Name] = ns
+	return nil
+}
+
+// Get resolves a namespace name ("" means DefaultNamespace).
+func (r *Registry) Get(name string) (*Namespace, bool) {
+	if name == "" {
+		name = DefaultNamespace
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ns, ok := r.m[name]
+	return ns, ok
+}
+
+// Names lists the registered namespaces, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Namespace-directory layout: <dir>/<name>/views.dl (required, one view
+// definition per rule), <dir>/<name>/base.dl (optional ground facts),
+// <dir>/<name>/config.json (optional Config).
+const (
+	viewsFile  = "views.dl"
+	baseFile   = "base.dl"
+	configFile = "config.json"
+)
+
+// LoadDir builds a registry from a config directory: every subdirectory
+// containing a views.dl becomes a namespace named after it. A directory
+// with no loadable namespace is an error — a server with nothing to serve
+// is a misconfiguration worth failing loudly on.
+func LoadDir(dir string) (*Registry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: config dir: %w", err)
+	}
+	reg := NewRegistry()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		nsDir := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(nsDir, viewsFile)); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		ns, err := loadNamespace(e.Name(), nsDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Add(ns); err != nil {
+			return nil, err
+		}
+	}
+	if len(reg.Names()) == 0 {
+		return nil, fmt.Errorf("server: no namespace under %s (want <name>/%s)", dir, viewsFile)
+	}
+	return reg, nil
+}
+
+// loadNamespace reads one namespace directory.
+func loadNamespace(name, dir string) (*Namespace, error) {
+	viewsSrc, err := os.ReadFile(filepath.Join(dir, viewsFile))
+	if err != nil {
+		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+	views, err := cq.ParseViews(string(viewsSrc))
+	if err != nil {
+		return nil, fmt.Errorf("namespace %s: %s: %w", name, viewsFile, err)
+	}
+
+	base := storage.NewDatabase()
+	if f, err := os.Open(filepath.Join(dir, baseFile)); err == nil {
+		base, err = storage.ReadDatabase(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("namespace %s: %s: %w", name, baseFile, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+
+	var cfg Config
+	if data, err := os.ReadFile(filepath.Join(dir, configFile)); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return nil, fmt.Errorf("namespace %s: %s: %w", name, configFile, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+	return NewNamespace(name, base, views, cfg)
+}

@@ -1,0 +1,368 @@
+// Package server is the network serving layer: an HTTP/JSON front-end
+// wrapping engine.Engine, turning the in-process serving stack — prepared
+// template plans, incremental view maintenance, budgets and admission
+// control — into a daemon (cmd/aqvd).
+//
+// Endpoints (all request/response bodies JSON):
+//
+//	POST /v1/prepare   query text -> prepared handle (template fingerprint),
+//	                   cached in a per-namespace session table (TTL + LRU)
+//	POST /v1/exec      handle + args -> answers (the warm path: no parsing,
+//	                   no planning, one compiled-plan execution)
+//	POST /v1/query     one-shot query text -> answers
+//	POST /v1/batch     insert batches through the IVM path (live namespaces)
+//	GET  /v1/stats     engine + session counters, one or all namespaces
+//	GET  /healthz      liveness (503 while draining)
+//
+// Every endpoint is also addressable per namespace as /v1/ns/{ns}/...; the
+// bare forms take the namespace from the request body ("namespace" field,
+// default "default").
+//
+// The governance layer maps onto HTTP faithfully: load-shed requests return
+// 429 with a Retry-After of at least one second, deadline and cancellation
+// trips 408, budget trips 422 with partial fixpoint stats in the error
+// envelope, and panics 500 with the panic value but never the stack. The
+// request context propagates into evaluation, so a dropped connection
+// cancels the fixpoint it was paying for.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// maxBodyBytes bounds request bodies (batches included).
+const maxBodyBytes = 64 << 20
+
+// Server routes requests to namespaces. Build with New, serve the value
+// returned by Handler, and call Drain before shutting the listener down.
+type Server struct {
+	reg      *Registry
+	mux      *http.ServeMux
+	draining atomic.Bool
+	started  time.Time
+}
+
+// New builds a server over a namespace registry.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/ns/{ns}/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/ns/{ns}/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
+	s.mux.HandleFunc("POST /v1/ns/{ns}/exec", s.handleExec)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/ns/{ns}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/ns/{ns}/batch", s.handleBatch)
+	return s
+}
+
+// Registry returns the server's namespace registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the root handler: the route mux behind the drain gate.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeErrorCode(w, http.StatusServiceUnavailable, CodeShuttingDown,
+				"server is draining; retry against another instance")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Drain flips the server into shutdown mode: every new request — health
+// checks included, so load balancers stop routing here — is refused with
+// 503/shutting_down, while requests already executing run to completion
+// (http.Server.Shutdown waits for them).
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// budgetSpec is the per-request budget override: every set field replaces
+// the namespace default, unset fields inherit it.
+type budgetSpec struct {
+	DeadlineMS        int `json:"deadline_ms,omitempty"`
+	MaxResultRows     int `json:"max_result_rows,omitempty"`
+	MaxDerivedTuples  int `json:"max_derived_tuples,omitempty"`
+	MaxFixpointRounds int `json:"max_fixpoint_rounds,omitempty"`
+}
+
+// merge overlays the spec on the namespace default.
+func (b *budgetSpec) merge(def engine.Budget) engine.Budget {
+	out := def
+	if b == nil {
+		return out
+	}
+	if b.DeadlineMS > 0 {
+		out.Deadline = time.Duration(b.DeadlineMS) * time.Millisecond
+	}
+	if b.MaxResultRows > 0 {
+		out.MaxResultRows = b.MaxResultRows
+	}
+	if b.MaxDerivedTuples > 0 {
+		out.MaxDerivedTuples = b.MaxDerivedTuples
+	}
+	if b.MaxFixpointRounds > 0 {
+		out.MaxFixpointRounds = b.MaxFixpointRounds
+	}
+	return out
+}
+
+// decode reads a JSON request body.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// resolve picks the request's namespace: the {ns} path segment when the
+// route has one, else the body field, else the default.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, bodyNS string) (*Namespace, bool) {
+	name := r.PathValue("ns")
+	if name == "" {
+		name = bodyNS
+	}
+	ns, ok := s.reg.Get(name)
+	if !ok {
+		writeErrorCode(w, http.StatusNotFound, CodeUnknownNamespace, fmt.Sprintf("unknown namespace %q", name))
+		return nil, false
+	}
+	return ns, true
+}
+
+// ---- /healthz ----
+
+type healthResponse struct {
+	Status     string   `json:"status"`
+	Namespaces []string `json:"namespaces"`
+	UptimeS    float64  `json:"uptime_s"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Namespaces: s.reg.Names(),
+		UptimeS:    time.Since(s.started).Seconds(),
+	})
+}
+
+// ---- /v1/prepare ----
+
+type prepareRequest struct {
+	Namespace string `json:"namespace,omitempty"`
+	Query     string `json:"query"`
+}
+
+// prepareResponse returns the session handle plus the plan's identity. Args
+// is the binding extracted from the submitted query's own constants — the
+// arguments under which exec reproduces the one-shot answer.
+type prepareResponse struct {
+	Handle      string `json:"handle"`
+	NumParams   int    `json:"num_params"`
+	Args        Row    `json:"args"`
+	Fingerprint string `json:"fingerprint"`
+	Strategy    string `json:"strategy"`
+	Chosen      string `json:"chosen"`
+	Arity       int    `json:"arity"`
+	// Reused reports whether the handle already existed in the session
+	// table (another client, or an earlier request, prepared the template).
+	Reused bool `json:"reused"`
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ns, ok := s.resolve(w, r, req.Namespace)
+	if !ok {
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, CodeInvalidQuery, err.Error())
+		return
+	}
+	pq, err := ns.Engine.Prepare(q)
+	if err != nil {
+		writeEngineError(w, err, http.StatusBadRequest, CodeInvalidQuery)
+		return
+	}
+	plan := pq.Plan()
+	isNew := ns.sessions.put(plan.Fingerprint, pq)
+	writeJSON(w, http.StatusOK, prepareResponse{
+		Handle:      plan.Fingerprint,
+		NumParams:   pq.NumParams(),
+		Args:        Row(pq.Args()),
+		Fingerprint: plan.Fingerprint,
+		Strategy:    string(plan.Strategy),
+		Chosen:      string(plan.Chosen),
+		Arity:       plan.Arity,
+		Reused:      !isNew,
+	})
+}
+
+// ---- /v1/exec ----
+
+type execRequest struct {
+	Namespace string      `json:"namespace,omitempty"`
+	Handle    string      `json:"handle"`
+	Args      Row         `json:"args"`
+	Budget    *budgetSpec `json:"budget,omitempty"`
+}
+
+// answersResponse is the result of exec and query.
+type answersResponse struct {
+	Answers Rows `json:"answers"`
+	Count   int  `json:"count"`
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ns, ok := s.resolve(w, r, req.Namespace)
+	if !ok {
+		return
+	}
+	pq, ok := ns.sessions.get(req.Handle)
+	if !ok {
+		writeErrorCode(w, http.StatusNotFound, CodeUnknownHandle,
+			fmt.Sprintf("unknown or expired handle %q; re-prepare", req.Handle))
+		return
+	}
+	answers, err := pq.ExecBudget(r.Context(), req.Budget.merge(ns.Budget), req.Args...)
+	if err != nil {
+		writeEngineError(w, err, http.StatusInternalServerError, engine.CodeInternal)
+		return
+	}
+	writeJSON(w, http.StatusOK, answersResponse{Answers: answers, Count: len(answers)})
+}
+
+// ---- /v1/query ----
+
+type queryRequest struct {
+	Namespace string      `json:"namespace,omitempty"`
+	Query     string      `json:"query"`
+	Budget    *budgetSpec `json:"budget,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ns, ok := s.resolve(w, r, req.Namespace)
+	if !ok {
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, CodeInvalidQuery, err.Error())
+		return
+	}
+	answers, err := ns.Engine.AnswerBudget(r.Context(), q, req.Budget.merge(ns.Budget))
+	if err != nil {
+		writeEngineError(w, err, http.StatusBadRequest, CodeInvalidQuery)
+		return
+	}
+	writeJSON(w, http.StatusOK, answersResponse{Answers: answers, Count: len(answers)})
+}
+
+// ---- /v1/batch ----
+
+type batchRequest struct {
+	Namespace string          `json:"namespace,omitempty"`
+	Updates   map[string]Rows `json:"updates"`
+	Budget    *budgetSpec     `json:"budget,omitempty"`
+}
+
+type batchResponse struct {
+	Applied    bool `json:"applied"`
+	Predicates int  `json:"predicates"`
+	Tuples     int  `json:"tuples"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ns, ok := s.resolve(w, r, req.Namespace)
+	if !ok {
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "batch has no updates")
+		return
+	}
+	updates := make(map[string][]storage.Tuple, len(req.Updates))
+	tuples := 0
+	for pred, rows := range req.Updates {
+		updates[pred] = rows
+		tuples += len(rows)
+	}
+	if err := ns.Engine.ApplyBatchBudget(r.Context(), updates, req.Budget.merge(ns.Budget)); err != nil {
+		writeEngineError(w, err, http.StatusBadRequest, CodeBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Applied: true, Predicates: len(updates), Tuples: tuples})
+}
+
+// ---- /v1/stats ----
+
+// namespaceStats is one namespace's counters on the wire.
+type namespaceStats struct {
+	Namespace string       `json:"namespace"`
+	Live      bool         `json:"live"`
+	Engine    engine.Stats `json:"engine"`
+	Sessions  SessionStats `json:"sessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	if name == "" {
+		name = r.URL.Query().Get("ns")
+	}
+	if name != "" {
+		ns, ok := s.reg.Get(name)
+		if !ok {
+			writeErrorCode(w, http.StatusNotFound, CodeUnknownNamespace, fmt.Sprintf("unknown namespace %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, statsOf(ns))
+		return
+	}
+	all := make(map[string]namespaceStats)
+	for _, n := range s.reg.Names() {
+		ns, _ := s.reg.Get(n)
+		all[n] = statsOf(ns)
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+func statsOf(ns *Namespace) namespaceStats {
+	return namespaceStats{
+		Namespace: ns.Name,
+		Live:      ns.Live,
+		Engine:    ns.Engine.Stats(),
+		Sessions:  ns.sessions.snapshot(),
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+// Wire encoding of tuples. Tuple values are arbitrary byte strings: Skolem
+// values embed \x1f separators and angle brackets, user data can carry
+// empty strings, control characters, or bytes that are not valid UTF-8 at
+// all. encoding/json silently replaces invalid UTF-8 with U+FFFD when
+// marshalling a Go string, which would corrupt such values in flight, so
+// the wire format encodes each column as either
+//
+//   - a plain JSON string, when the value is valid UTF-8 (JSON string
+//     escaping already round-trips control characters exactly), or
+//   - {"b64": "<base64>"}, when it is not.
+//
+// A column is therefore a JSON string or a JSON object — never ambiguous —
+// and every byte string round-trips unchanged. Rows are arrays of columns,
+// answer sets arrays of rows.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"repro/internal/storage"
+)
+
+// b64Column is the escape form of a column whose value is not valid UTF-8.
+type b64Column struct {
+	B64 string `json:"b64"`
+}
+
+// Row is one tuple on the wire.
+type Row storage.Tuple
+
+// MarshalJSON encodes the row as an array of columns.
+func (r Row) MarshalJSON() ([]byte, error) {
+	cols := make([]any, len(r))
+	for i, v := range r {
+		if utf8.ValidString(v) {
+			cols[i] = v
+		} else {
+			cols[i] = b64Column{B64: base64.StdEncoding.EncodeToString([]byte(v))}
+		}
+	}
+	return json.Marshal(cols)
+}
+
+// UnmarshalJSON decodes an array of columns.
+func (r *Row) UnmarshalJSON(data []byte) error {
+	var cols []json.RawMessage
+	if err := json.Unmarshal(data, &cols); err != nil {
+		return err
+	}
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		if len(c) == 0 {
+			return fmt.Errorf("server: empty column %d", i)
+		}
+		switch c[0] {
+		case '"':
+			var s string
+			if err := json.Unmarshal(c, &s); err != nil {
+				return err
+			}
+			out[i] = s
+		case '{':
+			var b b64Column
+			if err := json.Unmarshal(c, &b); err != nil {
+				return err
+			}
+			raw, err := base64.StdEncoding.DecodeString(b.B64)
+			if err != nil {
+				return fmt.Errorf("server: column %d: bad base64: %w", i, err)
+			}
+			out[i] = string(raw)
+		default:
+			return fmt.Errorf("server: column %d is neither a string nor a b64 object", i)
+		}
+	}
+	*r = out
+	return nil
+}
+
+// Rows is an answer set (or insert batch) on the wire.
+type Rows []storage.Tuple
+
+// MarshalJSON encodes every tuple as a Row. A nil answer set encodes as
+// [], not null — clients iterate it either way.
+func (rs Rows) MarshalJSON() ([]byte, error) {
+	rows := make([]Row, len(rs))
+	for i, t := range rs {
+		rows[i] = Row(t)
+	}
+	return json.Marshal(rows)
+}
+
+// UnmarshalJSON decodes an array of Rows.
+func (rs *Rows) UnmarshalJSON(data []byte) error {
+	var rows []Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	out := make(Rows, len(rows))
+	for i, r := range rows {
+		out[i] = storage.Tuple(r)
+	}
+	*rs = out
+	return nil
+}
