@@ -36,10 +36,12 @@
 // equivalent rewritings instead of the first found.
 //
 // With EngineOptions.LiveUpdates the engine additionally accepts base-fact
-// inserts (Engine.Insert/InsertBatch/ApplyBatch), delta-maintaining every
-// view extent per batch instead of freezing the database at construction;
-// cached plans survive updates, and concurrent readers see torn-free
-// snapshots.
+// inserts (Engine.Insert/InsertBatch/ApplyBatch), deletions
+// (Engine.Delete/DeleteBatch) and mixed batches (Engine.ApplyUpdate),
+// incrementally maintaining every view extent per batch instead of
+// freezing the database at construction — multiplicity counting for flat
+// view sets, delete-rederive for recursive programs; cached plans survive
+// updates, and concurrent readers see torn-free snapshots.
 //
 // See examples/ for complete programs and DESIGN.md for the system map.
 package aqv
@@ -284,11 +286,12 @@ var CompileProgram = datalog.CompileProgram
 var CompileProgramIVM = datalog.CompileProgramIVM
 
 // Incremental view maintenance (see internal/ivm). A Maintainer keeps
-// materialized view extents consistent under base-fact inserts by running
-// compiled delta plans — one semi-naive propagation per update batch —
-// instead of re-materializing. The live engine (EngineOptions.LiveUpdates)
-// embeds one; use it directly to maintain extents without the serving
-// layer.
+// materialized view extents consistent under base-fact inserts, deletions
+// and mixed batches by running compiled delta plans — insertions propagate
+// monotonically, deletions through per-tuple multiplicity counting (flat
+// view sets) or delete-rederive (recursive programs) — instead of
+// re-materializing. The live engine (EngineOptions.LiveUpdates) embeds
+// one; use it directly to maintain extents without the serving layer.
 type (
 	// Maintainer delta-maintains view extents over a base database.
 	Maintainer = ivm.Maintainer
@@ -301,11 +304,13 @@ type (
 )
 
 // NewMaintainer materializes the views over base once and returns a
-// Maintainer that keeps the extents fresh under ApplyBatch.
+// Maintainer that keeps the extents fresh under ApplyBatch (inserts) and
+// ApplyUpdate (mixed insert/delete batches).
 var NewMaintainer = ivm.New
 
-// ErrEngineNotLive reports Insert/InsertBatch/ApplyBatch on an engine
-// built without EngineOptions.LiveUpdates.
+// ErrEngineNotLive reports a mutation (Insert/InsertBatch/ApplyBatch,
+// Delete/DeleteBatch/ApplyUpdate) on an engine built without
+// EngineOptions.LiveUpdates.
 var ErrEngineNotLive = engine.ErrNotLive
 
 // Resource governance (see internal/engine and internal/datalog): typed

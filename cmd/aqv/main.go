@@ -30,12 +30,15 @@
 // stream.
 //
 // Update-stream mode (-stream) serves a live workload that interleaves
-// base-fact inserts with queries, one statement per line ("-" reads
-// stdin): ground facts accumulate into a batch, and each query rule first
-// applies the pending batch — delta-maintaining every view extent through
-// the engine's incremental maintenance path, no re-materialization — then
-// answers over the updated extents. With -stats the engine's update
-// counters (batches, delta tuples, maintenance time) are printed too.
+// base-fact inserts, deletions and queries, one statement per line ("-"
+// reads stdin): ground facts accumulate into a batch, a line prefixed with
+// "-" retracts its facts (so an update is a "-" line plus a plain line in
+// the same batch), and each query rule first applies the pending batch
+// atomically — deletions before insertions, every view extent maintained
+// through the engine's incremental counting/delete-rederive path, no
+// re-materialization — then answers over the updated extents. With -stats
+// the engine's update counters (batches, inserted and deleted tuples,
+// derived and retracted extent tuples, maintenance time) are printed too.
 //
 // Example:
 //
@@ -72,7 +75,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("aqv", flag.ContinueOnError)
 	queryPath := fs.String("query", "", "file containing the query rule")
 	queriesPath := fs.String("queries", "", "batch mode: file with a stream of query rules ('-' = stdin), answered through one plan-caching engine")
-	streamPath := fs.String("stream", "", "live mode: file interleaving ground facts (inserts) and query rules ('-' = stdin), served by one live engine that delta-maintains the view extents")
+	streamPath := fs.String("stream", "", "live mode: file interleaving ground facts (inserts), \"-\"-prefixed facts (deletes) and query rules ('-' = stdin), served by one live engine that incrementally maintains the view extents")
 	viewsPath := fs.String("views", "", "file containing view definitions")
 	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
 	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse, auto (cost-driven per query)")
@@ -419,10 +422,11 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 }
 
 // runStream serves an interleaved update/query stream through one live
-// engine: ground facts accumulate into a pending batch; each query rule
-// applies the batch (delta-maintaining the extents) and then answers over
-// the updated snapshot. One statement per line; trailing facts are applied
-// at end of stream.
+// engine: ground facts accumulate into a pending batch — lines prefixed
+// with "-" as retractions, plain lines as inserts — and each query rule
+// applies the batch atomically (deletions first, every extent maintained
+// incrementally) and then answers over the updated snapshot. One statement
+// per line; trailing facts are applied at end of stream.
 func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, gov govOpts, partial, stats bool) error {
 	strategy, err := aqv.ParseStrategy(algo)
 	if err != nil {
@@ -456,23 +460,28 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 	}
 
 	step := 0
-	pending := make(map[string][]aqv.Tuple)
-	npending := 0
+	pendingIns := make(map[string][]aqv.Tuple)
+	pendingDel := make(map[string][]aqv.Tuple)
+	nins, ndel := 0, 0
 	flush := func() error {
-		if npending == 0 {
+		if nins == 0 && ndel == 0 {
 			return nil
 		}
 		before := eng.Stats()
-		if err := eng.ApplyBatch(pending); err != nil {
+		if err := eng.ApplyUpdate(pendingIns, pendingDel); err != nil {
 			return err
 		}
 		after := eng.Stats()
 		step++
-		fmt.Fprintf(out, "%% [%d] batch: %d insert(s), %d new, +%d extent tuple(s), maintain=%v\n",
-			step, npending, after.UpdateTuples-before.UpdateTuples,
-			after.DeltaDerived-before.DeltaDerived, after.MaintainTime-before.MaintainTime)
-		pending = make(map[string][]aqv.Tuple)
-		npending = 0
+		fmt.Fprintf(out, "%% [%d] batch: %d insert(s) (%d new), %d delete(s) (%d present), +%d/-%d extent tuple(s), maintain=%v\n",
+			step, nins, after.UpdateTuples-before.UpdateTuples,
+			ndel, after.UpdateDeleted-before.UpdateDeleted,
+			after.DeltaDerived-before.DeltaDerived,
+			after.DeltaRetracted-before.DeltaRetracted,
+			after.MaintainTime-before.MaintainTime)
+		pendingIns = make(map[string][]aqv.Tuple)
+		pendingDel = make(map[string][]aqv.Tuple)
+		nins, ndel = 0, 0
 		return nil
 	}
 	for lineno, line := range strings.Split(string(data), "\n") {
@@ -480,9 +489,18 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 		if stmt == "" || strings.HasPrefix(stmt, "%") {
 			continue
 		}
+		// A "-" prefix marks the line's facts as retractions.
+		deleting := false
+		if strings.HasPrefix(stmt, "-") {
+			deleting = true
+			stmt = strings.TrimSpace(strings.TrimPrefix(stmt, "-"))
+		}
 		prog, err := aqv.ParseProgram(stmt)
 		if err != nil {
 			return fmt.Errorf("stream line %d: %w", lineno+1, err)
+		}
+		if len(prog.Queries) > 0 && deleting {
+			return fmt.Errorf("stream line %d: a \"-\" line retracts facts; queries cannot be negated", lineno+1)
 		}
 		if len(prog.Facts) > 0 && len(prog.Queries) > 0 {
 			// Mixing both on one line would silently reorder: facts batch
@@ -494,8 +512,13 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 			for i, arg := range f.Args {
 				t[i] = arg.Lex
 			}
-			pending[f.Pred] = append(pending[f.Pred], t)
-			npending++
+			if deleting {
+				pendingDel[f.Pred] = append(pendingDel[f.Pred], t)
+				ndel++
+			} else {
+				pendingIns[f.Pred] = append(pendingIns[f.Pred], t)
+				nins++
+			}
 		}
 		for _, q := range prog.Queries {
 			if err := q.Validate(); err != nil {
@@ -524,8 +547,8 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 		st := eng.Stats()
 		fmt.Fprintf(out, "%% engine: hits=%d misses=%d cached=%d execs=%d exec_time=%v\n",
 			st.Hits, st.Misses, st.CacheLen, st.ExecCount, st.ExecTime)
-		fmt.Fprintf(out, "%% engine: update_batches=%d update_tuples=%d delta_derived=%d maintain_time=%v\n",
-			st.UpdateBatches, st.UpdateTuples, st.DeltaDerived, st.MaintainTime)
+		fmt.Fprintf(out, "%% engine: update_batches=%d update_tuples=%d update_deleted=%d delta_derived=%d delta_retracted=%d maintain_time=%v\n",
+			st.UpdateBatches, st.UpdateTuples, st.UpdateDeleted, st.DeltaDerived, st.DeltaRetracted, st.MaintainTime)
 		printGovStats(out, gov, st)
 	}
 	return nil

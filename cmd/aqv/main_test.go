@@ -291,7 +291,7 @@ func TestRunStream(t *testing.T) {
 		t.Fatalf("maintained answer missing:\n%s", out)
 	}
 	// The batch line reports inserts and derived extent tuples.
-	if !strings.Contains(out, "2 insert(s), 2 new, +1 extent tuple(s)") {
+	if !strings.Contains(out, "2 insert(s) (2 new), 0 delete(s) (0 present), +1/-0 extent tuple(s)") {
 		t.Fatalf("batch report missing:\n%s", out)
 	}
 	// The trailing fact is applied after the last query (batch 2 derives
@@ -304,6 +304,44 @@ func TestRunStream(t *testing.T) {
 	}
 	if !strings.Contains(out, "delta_derived=2") {
 		t.Fatalf("delta_derived wrong (want 2: v(b,y) and v(c,x)):\n%s", out)
+	}
+}
+
+// TestRunStreamDeletes drives delete and update lines through the live
+// stream: a "-" line retracts facts, and a "-" line plus a plain line in
+// one batch is an update — all applied atomically before the next query.
+func TestRunStreamDeletes(t *testing.T) {
+	dir := t.TempDir()
+	vf := writeFile(t, dir, "v.dl", "v(A,B) :- r(A,C), s(C,B).")
+	df := writeFile(t, dir, "d.dl", "r(a,m). s(m,x). r(b,n). s(n,y).")
+	sf := writeFile(t, dir, "stream.dl", `
+		q(X,Y) :- r(X,Z), s(Z,Y).
+		% retract one derivation...
+		- r(a,m).
+		q(X,Y) :- r(X,Z), s(Z,Y).
+		% ...and an update: move b from n to m
+		- r(b,n).
+		r(b,m).
+		q(X,Y) :- r(X,Z), s(Z,Y).
+	`)
+	out := capture(t, []string{"-stream", sf, "-views", vf, "-data", df, "-stats"})
+	if !strings.Contains(out, "% 2 answer(s):") || !strings.Contains(out, "% 1 answer(s):") {
+		t.Fatalf("answer counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "q(b,x).") {
+		t.Fatalf("updated answer missing:\n%s", out)
+	}
+	if strings.Contains(out, "q(a,x).\n% [4]") || !strings.Contains(out, "1 delete(s) (1 present)") {
+		t.Fatalf("delete batch report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "update_deleted=2") || !strings.Contains(out, "delta_retracted=2") {
+		t.Fatalf("delete counters missing:\n%s", out)
+	}
+
+	// Deleting a query is rejected.
+	bad := writeFile(t, dir, "bad.dl", "- q(X) :- r(X,Y).")
+	if err := run([]string{"-stream", bad, "-views", vf}, os.Stdout); err == nil {
+		t.Fatal("negated query accepted")
 	}
 }
 

@@ -94,6 +94,11 @@ type IVMBenchResult struct {
 	// batch derived.
 	DeltaTuples  int `json:"delta_tuples"`
 	DeltaDerived int `json:"delta_derived"`
+	// DeltaDeleted is the batch's base-retraction count and DeltaRetracted
+	// the extent tuples those retractions removed — non-monotone points
+	// (delete-heavy, mixed churn, DRed) only.
+	DeltaDeleted   int `json:"delta_deleted,omitempty"`
+	DeltaRetracted int `json:"delta_retracted,omitempty"`
 	// FullNs re-materializes every extent from the updated base; DeltaNs
 	// runs the compiled delta propagation for the same batch.
 	FullNs  float64 `json:"full_ns_per_op"`
@@ -334,12 +339,24 @@ func toPoint(r testing.BenchmarkResult) BenchPoint {
 }
 
 // runEvalBench measures every workload and writes the JSON report to path
-// ("-" prints to stdout only).
+// ("-" prints to stdout only). The workloads/programs/ivm/prepared sections
+// are replaced; sections owned by other modes (partitioned, governance)
+// are preserved when the file already exists.
 func runEvalBench(path string) error {
-	report := EvalBenchReport{
-		Command:    "aqvbench -evalbench " + path,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+	var report EvalBenchReport
+	if path != "-" {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &report); err != nil {
+				return fmt.Errorf("parse existing %s: %w", path, err)
+			}
+		}
 	}
+	report.Command = "aqvbench -evalbench " + path
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.Workloads = nil
+	report.Programs = nil
+	report.IVM = nil
+	report.Prepared = nil
 	for _, w := range evalWorkloads() {
 		w.db.BuildIndexes()
 		cat := cost.NewCatalog(w.db)
@@ -1193,6 +1210,117 @@ func runIVMBench(report *EvalBenchReport) error {
 		report.IVM = append(report.IVM, res)
 	}
 
+	countTuples := func(m map[string][]storage.Tuple) int {
+		n := 0
+		for _, ts := range m {
+			n += len(ts)
+		}
+		return n
+	}
+
+	// Non-monotone maintenance over the same flat views: delete-heavy and
+	// mixed-churn batches through counting maintenance (ApplyUpdate) against
+	// re-materializing every extent from the post-batch base — the engine's
+	// only option before deletions existed. An untimed priming batch (delete
+	// plus re-insert of one tuple) builds the lazy derivation counts so the
+	// one-off initialization stays out of the measured delta.
+	for _, kind := range []struct {
+		name    string
+		insFrac float64
+	}{
+		{"views_chain_delete_heavy", 0},
+		{"views_chain_mixed_churn", 0.5},
+	} {
+		m, err := ivm.New(base, views, ivm.Options{})
+		if err != nil {
+			return err
+		}
+		prime := base.Relation("p1").Tuples()[0]
+		one := map[string][]storage.Tuple{"p1": {prime}}
+		if _, err := m.ApplyUpdate(one, one); err != nil {
+			return err
+		}
+		extentN := m.Database().TotalTuples() - baseN
+
+		const deltaN = 120
+		delPer := int(float64(deltaN) * (1 - kind.insFrac))
+		insPer := deltaN - delPer
+		// Retraction pools: disjoint slices of a shuffled snapshot of the
+		// live base, so every rep deletes tuples that are actually present.
+		type fact struct {
+			pred string
+			t    storage.Tuple
+		}
+		var pool []fact
+		for _, pred := range []string{"p1", "p2", "p3"} {
+			for _, t := range m.Database().Relation(pred).Tuples() {
+				pool = append(pool, fact{pred, t})
+			}
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		delBatches := make([]map[string][]storage.Tuple, reps)
+		insBatches := make([]map[string][]storage.Tuple, reps)
+		for i := range delBatches {
+			del := make(map[string][]storage.Tuple)
+			for _, f := range pool[i*delPer : (i+1)*delPer] {
+				del[f.pred] = append(del[f.pred], f.t)
+			}
+			delBatches[i] = del
+			if insPer > 0 {
+				insBatches[i] = randomBatch(insPer)
+			}
+		}
+		derivedPerRep := make([]int, reps)
+		retractedPerRep := make([]int, reps)
+		deltaNs, bestRep, err := minNs(reps, func(rep int) error {
+			res, err := m.ApplyUpdate(insBatches[rep], delBatches[rep])
+			if err != nil {
+				return err
+			}
+			derivedPerRep[rep] = countTuples(res.ExtentDelta)
+			retractedPerRep[rep] = countTuples(res.ExtentRetracted)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		shadow := base.Clone()
+		for pred, tuples := range delBatches[0] {
+			for _, t := range tuples {
+				shadow.Relation(pred).Remove(t)
+			}
+		}
+		for pred, tuples := range insBatches[0] {
+			for _, t := range tuples {
+				if err := shadow.Insert(pred, t); err != nil {
+					return err
+				}
+			}
+		}
+		fullNs, _, err := minNs(reps, func(int) error {
+			_, err := datalog.MaterializeViews(shadow, views)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		res := IVMBenchResult{
+			Name:           kind.name,
+			BaseTuples:     baseN,
+			ExtentTuples:   extentN,
+			DeltaTuples:    deltaN,
+			DeltaDeleted:   delPer,
+			DeltaDerived:   derivedPerRep[bestRep],
+			DeltaRetracted: retractedPerRep[bestRep],
+			FullNs:         fullNs,
+			DeltaNs:        deltaNs,
+			Speedup:        fullNs / deltaNs,
+		}
+		fmt.Printf("%-22s base=%-6d extents=%-6d delta=%-4d (-%d) full=%.0fns delta=%.0fns (%.1fx)\n",
+			res.Name, res.BaseTuples, res.ExtentTuples, res.DeltaTuples, res.DeltaDeleted, res.FullNs, res.DeltaNs, res.Speedup)
+		report.IVM = append(report.IVM, res)
+	}
+
 	// Recursive: transitive closure of a long chain, extended edge by edge.
 	rng = rand.New(rand.NewSource(73))
 	edges := storage.NewDatabase()
@@ -1263,6 +1391,69 @@ func runIVMBench(report *EvalBenchReport) error {
 		}
 		fmt.Printf("%-22s base=%-6d extents=%-6d delta=%-4d full=%.0fns delta=%.0fns (%.1fx)\n",
 			res.Name, res.BaseTuples, res.ExtentTuples, res.DeltaTuples, res.FullNs, res.DeltaNs, res.Speedup)
+		report.IVM = append(report.IVM, res)
+	}
+
+	// DRed: retract edges from the maintained transitive closure —
+	// over-delete plus re-derive against re-running the fixpoint on the
+	// shrunken base. Deltas stay small because a single chain edge can
+	// support a quadratic slab of closure tuples; that blast radius is the
+	// point of measuring the recursive deletion path separately.
+	{
+		st := cp.NewMaintState(edges)
+		maintained, err := cp.Eval(edges)
+		if err != nil {
+			return err
+		}
+		maintained.BuildIndexes()
+		baseN := edges.TotalTuples()
+		extentN := maintained.TotalTuples() - baseN
+		pool := append([]storage.Tuple(nil), maintained.Relation("e").Tuples()...)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		const delN = 2
+		batches := make([]map[string][]storage.Tuple, reps)
+		for i := range batches {
+			batches[i] = map[string][]storage.Tuple{"e": pool[i*delN : (i+1)*delN]}
+		}
+		derivedPerRep := make([]int, reps)
+		retractedPerRep := make([]int, reps)
+		deltaNs, bestRep, err := minNs(reps, func(rep int) error {
+			res, err := cp.ApplyUpdates(maintained, st, nil, batches[rep], 1)
+			if err != nil {
+				return err
+			}
+			derivedPerRep[rep] = countTuples(res.Derived)
+			retractedPerRep[rep] = countTuples(res.Retracted)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		shadow := edges.Clone()
+		for _, t := range batches[0]["e"] {
+			shadow.Relation("e").Remove(t)
+		}
+		fullNs, _, err := minNs(reps, func(int) error {
+			_, err := cp.Eval(shadow)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		res := IVMBenchResult{
+			Name:           fmt.Sprintf("tc_chain_dred_%dedge", delN),
+			BaseTuples:     baseN,
+			ExtentTuples:   extentN,
+			DeltaTuples:    delN,
+			DeltaDeleted:   delN,
+			DeltaDerived:   derivedPerRep[bestRep],
+			DeltaRetracted: retractedPerRep[bestRep],
+			FullNs:         fullNs,
+			DeltaNs:        deltaNs,
+			Speedup:        fullNs / deltaNs,
+		}
+		fmt.Printf("%-22s base=%-6d extents=%-6d delta=%-4d (-%d) full=%.0fns delta=%.0fns (%.1fx)\n",
+			res.Name, res.BaseTuples, res.ExtentTuples, res.DeltaTuples, res.DeltaDeleted, res.FullNs, res.DeltaNs, res.Speedup)
 		report.IVM = append(report.IVM, res)
 	}
 	return nil

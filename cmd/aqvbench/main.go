@@ -14,7 +14,8 @@
 //	aqvbench -governance BENCH_eval.json # measure cancellation-guard overhead,
 //	                                     # merge the "governance" section
 //	aqvbench -serve BENCH_serve.json     # drive the HTTP serving layer with
-//	                                     # closed- and open-loop load
+//	                                     # closed- and open-loop load plus a
+//	                                     # mixed insert/delete batch churn phase
 package main
 
 import (
@@ -41,7 +42,7 @@ func run(args []string) error {
 	evalBench := fs.String("evalbench", "", "measure the evaluator (interp vs compiled cold/warm/parallel) and write machine-readable JSON to this path ('-' = stdout)")
 	scaling := fs.String("scaling", "", "sweep the sharded executor across shard counts (1..max(GOMAXPROCS,8)) and merge the 'partitioned' section into the JSON report at this path ('-' = stdout)")
 	governance := fs.String("governance", "", "measure the cancellation-guard overhead (context-aware vs legacy evaluation) and merge the 'governance' section into the JSON report at this path ('-' = stdout)")
-	serve := fs.String("serve", "", "drive the HTTP serving layer (closed- and open-loop load) and write BENCH_serve.json to this path ('-' = stdout)")
+	serve := fs.String("serve", "", "drive the HTTP serving layer (closed- and open-loop load, mixed-batch churn) and write BENCH_serve.json to this path ('-' = stdout)")
 	serveDur := fs.Duration("serve-dur", 2*time.Second, "wall time per -serve load point")
 	serveConc := fs.String("serve-conc", "4,16", "closed-loop worker counts for -serve (comma-separated, at least two)")
 	if err := fs.Parse(args); err != nil {

@@ -89,4 +89,17 @@ func TestRunServeBenchSmoke(t *testing.T) {
 			t.Fatalf("%s point: server shed %d != client 429s %d", p.Mode, p.ShedSrv, p.Shed)
 		}
 	}
+	if report.Batch == nil {
+		t.Fatal("no mixed-batch churn phase in report")
+	}
+	b := report.Batch
+	if b.Batches < 1 || b.Inserted != b.Batches || b.Deleted != b.Batches-1 {
+		t.Fatalf("batch churn accounting: %+v", b)
+	}
+	if b.Errors != 0 {
+		t.Fatalf("batch churn had %d reader errors", b.Errors)
+	}
+	if b.ReadsOK == 0 || b.P50Ms <= 0 {
+		t.Fatalf("batch churn ran without concurrent reads: %+v", b)
+	}
 }

@@ -14,6 +14,12 @@ package main
 //     records both the client-observed 429s and the server-side admission
 //     counter deltas.
 //
+//   - batch churn: one writer streams mixed insert/delete batches through
+//     /v1/batch (each batch retracts the previous churn fact and inserts
+//     its replacement) while prepared-exec readers run concurrently, so
+//     the left-right publish path is exercised under read load; the phase
+//     ends with a consistency probe of the final churn fact.
+//
 // Latency percentiles are reported per point (p50/p95/p99, milliseconds,
 // queueing included — in an open loop the queue wait is the story).
 
@@ -69,6 +75,27 @@ type ServeBenchPoint struct {
 	Canceled uint64 `json:"canceled,omitempty"`
 }
 
+// ServeBatchPoint summarizes the mixed-batch churn phase: back-to-back
+// /v1/batch requests (each deleting the previous churn fact and inserting
+// its successor) with concurrent prepared-exec readers.
+type ServeBatchPoint struct {
+	DurationS float64 `json:"duration_s"`
+	// Batches is the number of mixed batches applied; Inserted/Deleted the
+	// base-tuple insert and retraction requests they carried.
+	Batches  int `json:"batches"`
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// ReadsOK counts prepared-exec responses served while batches flowed.
+	ReadsOK int `json:"reads_ok"`
+	Errors  int `json:"errors"`
+	// BatchesPerS is applied batches per second of wall time; the latency
+	// percentiles are over the batch requests (milliseconds).
+	BatchesPerS float64 `json:"batches_per_s"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
 // ServeBenchReport is the top-level BENCH_serve.json document.
 type ServeBenchReport struct {
 	Command    string `json:"command"`
@@ -83,6 +110,8 @@ type ServeBenchReport struct {
 	SaturationRPS float64           `json:"saturation_rps"`
 	Closed        []ServeBenchPoint `json:"closed"`
 	Open          []ServeBenchPoint `json:"open"`
+	// Batch is the mixed-batch churn phase (live namespace required).
+	Batch *ServeBatchPoint `json:"batch,omitempty"`
 }
 
 // The admission configuration is fixed, not host-derived: a small
@@ -262,7 +291,7 @@ func runServeBench(path string, dur time.Duration, concSpec string) error {
 	if err != nil {
 		return err
 	}
-	cfg := server.Config{MaxConcurrent: serveBenchMaxConcurrent, MaxQueue: serveBenchMaxQueue}
+	cfg := server.Config{MaxConcurrent: serveBenchMaxConcurrent, MaxQueue: serveBenchMaxQueue, LiveUpdates: true}
 	ns, err := server.NewNamespace(server.DefaultNamespace, base, views, cfg)
 	if err != nil {
 		return err
@@ -432,6 +461,14 @@ func runServeBench(path string, dur time.Duration, concSpec string) error {
 		report.Open = append(report.Open, p)
 	}
 
+	batch, err := runBatchChurn(client, baseURL, execBody, dur)
+	if err != nil {
+		return fmt.Errorf("batch churn: %w", err)
+	}
+	report.Batch = batch
+	fmt.Printf("batch churn     batches=%-5d deleted=%-5d reads=%-6d %.0f batch/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		batch.Batches, batch.Deleted, batch.ReadsOK, batch.BatchesPerS, batch.P50Ms, batch.P95Ms, batch.P99Ms)
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -442,6 +479,150 @@ func runServeBench(path string, dur time.Duration, concSpec string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runBatchChurn drives the mixed-batch phase: one writer streams /v1/batch
+// requests back to back for dur — batch i inserts r(churn<i>, m0) and
+// retracts r(churn<i-1>, m0), so exactly one churn fact is live at any
+// moment — while two prepared-exec readers run concurrently against the
+// left-right snapshots the publishes flip. The phase ends with a point
+// query proving the final churn fact answers and its predecessor does not.
+func runBatchChurn(client *http.Client, baseURL string, execBody []byte, dur time.Duration) (*ServeBatchPoint, error) {
+	p := &ServeBatchPoint{}
+	var latencies []time.Duration
+
+	stop := make(chan struct{})
+	var readOK, readErrs int
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res serveLoadResult
+			for {
+				select {
+				case <-stop:
+					res.mu.Lock()
+					readOK += res.ok + res.shed
+					readErrs += res.errs
+					res.mu.Unlock()
+					return
+				default:
+					fireExec(client, baseURL+"/v1/exec", execBody, &res)
+				}
+			}
+		}()
+	}
+
+	postBatch := func(i int) error {
+		body := map[string]any{
+			"updates": map[string][][]string{"r": {{fmt.Sprintf("churn%d", i), "m0"}}},
+		}
+		wantDeleted := 0
+		if i > 0 {
+			body["deletes"] = map[string][][]string{"r": {{fmt.Sprintf("churn%d", i-1), "m0"}}}
+			wantDeleted = 1
+		}
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		resp, err := client.Post(baseURL+"/v1/batch", "application/json", bytes.NewReader(data))
+		d := time.Since(start)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch %d: %d %s", i, resp.StatusCode, raw)
+		}
+		var br struct {
+			Deleted int `json:"deleted"`
+		}
+		if err := json.Unmarshal(raw, &br); err != nil {
+			return err
+		}
+		if br.Deleted != wantDeleted {
+			return fmt.Errorf("batch %d: deleted = %d, want %d", i, br.Deleted, wantDeleted)
+		}
+		latencies = append(latencies, d)
+		p.Batches++
+		p.Inserted++
+		p.Deleted += wantDeleted
+		return nil
+	}
+
+	start := time.Now()
+	deadline := start.Add(dur)
+	var churnErr error
+	for i := 0; time.Now().Before(deadline) || i == 0; i++ {
+		if churnErr = postBatch(i); churnErr != nil {
+			break
+		}
+	}
+	wall := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	p.DurationS = wall.Seconds()
+	p.ReadsOK = readOK
+	p.Errors = readErrs
+	if secs := wall.Seconds(); secs > 0 {
+		p.BatchesPerS = float64(p.Batches) / secs
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p.P50Ms = percentileMs(latencies, 0.50)
+	p.P95Ms = percentileMs(latencies, 0.95)
+	p.P99Ms = percentileMs(latencies, 0.99)
+
+	// Consistency probe: the final churn fact answers through the view,
+	// its retracted predecessor does not.
+	probe := func(key string) (int, error) {
+		body, _ := json.Marshal(map[string]any{
+			"query": fmt.Sprintf("q(Y) :- r(%s,Z), s(Z,Y).", key),
+		})
+		resp, err := client.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("probe %s: %d %s", key, resp.StatusCode, raw)
+		}
+		var ans struct {
+			Count int `json:"count"`
+		}
+		if err := json.Unmarshal(raw, &ans); err != nil {
+			return 0, err
+		}
+		return ans.Count, nil
+	}
+	last := fmt.Sprintf("churn%d", p.Batches-1)
+	if n, err := probe(last); err != nil {
+		return nil, err
+	} else if n != 1 {
+		return nil, fmt.Errorf("final churn fact %s: %d answers, want 1", last, n)
+	}
+	if p.Batches > 1 {
+		prev := fmt.Sprintf("churn%d", p.Batches-2)
+		if n, err := probe(prev); err != nil {
+			return nil, err
+		} else if n != 0 {
+			return nil, fmt.Errorf("retracted churn fact %s still answers (%d)", prev, n)
+		}
+	}
+	return p, nil
 }
 
 // parseConcLevels parses the -serve-conc list ("4,16"). At least two levels

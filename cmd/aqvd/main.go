@@ -63,7 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	viewsPath := fs.String("views", "", "inline mode: file with view definitions (single 'default' namespace)")
 	basePath := fs.String("base", "", "inline mode: optional file of ground base facts")
 	strategy := fs.String("strategy", "", "inline mode: planning strategy (equivalent-first, bucket, minicon, inverse-rules, auto)")
-	live := fs.Bool("live", false, "inline mode: enable live update batches (/v1/batch)")
+	live := fs.Bool("live", false, "inline mode: enable live mixed insert/delete batches (/v1/batch)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "inline mode: admission-control concurrency cap (0 = unlimited)")
 	maxQueue := fs.Int("max-queue", 0, "inline mode: admission queue depth (0 = 4x cap, negative = no queue)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")

@@ -154,6 +154,39 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("post-batch answers = %+v", ans)
 	}
 
+	// Mixed batch: retract the fact just inserted and insert a replacement
+	// in the same atomic unit.
+	resp, raw = postJSON(t, url+"/v1/batch", map[string]any{
+		"updates": map[string][][]string{"r": {{"k101", "m0"}}},
+		"deletes": map[string][][]string{"r": {{"k100", "m0"}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: %d %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"deleted":1`)) {
+		t.Fatalf("mixed batch response missing deleted count: %s", raw)
+	}
+	resp, raw = postJSON(t, url+"/v1/query", map[string]any{"query": "q(Y) :- r(k100,Z), s(Z,Y)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 0 {
+		t.Fatalf("retracted fact still answered: %+v", ans)
+	}
+	resp, raw = postJSON(t, url+"/v1/query", map[string]any{"query": "q(Y) :- r(k101,Z), s(Z,Y)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Count != 1 || ans.Answers[0][0] != "x0" {
+		t.Fatalf("post-mixed answers = %+v", ans)
+	}
+
 	// Health + stats.
 	hr, err := http.Get(url + "/healthz")
 	if err != nil {

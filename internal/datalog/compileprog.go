@@ -111,6 +111,22 @@ type CompiledProgram struct {
 	// ivm marks programs compiled with per-EDB-occurrence delta variants
 	// (CompileProgramIVM); only those support MaintainDelta.
 	ivm bool
+	// flat marks IVM programs whose rule bodies reference no derived
+	// predicate (non-recursive, single-level view sets): deletions maintain
+	// exact per-derived-tuple multiplicity counts. Non-flat programs fall
+	// back to DRed (delete-and-rederive); see delete.go.
+	flat bool
+	// countFull / countDeltas are the counting plan variants of flat IVM
+	// programs: one full enumeration per rule and one delta variant per body
+	// occurrence, compiled with every body variable kept so each emission is
+	// one distinct derivation (see delete.go).
+	countFull   []countVariant
+	countDeltas [][]countVariant
+	// supports are the re-derivation variants of non-flat IVM programs: per
+	// rule, a plan rooted at the rule's own head (fed by over-deleted
+	// tuples), or the filtered full variant when the head contains Skolem
+	// terms (see delete.go).
+	supports []supportVariant
 }
 
 // CompileProgram lowers a program to compiled-rule form using catalog
@@ -171,6 +187,9 @@ func compileProgram(p *Program, cat *cost.Catalog, ivm bool) (*CompiledProgram, 
 			cp.idbProbeCols[pred] = append(cp.idbProbeCols[pred], col)
 		}
 		sort.Ints(cp.idbProbeCols[pred])
+	}
+	if ivm {
+		cp.compileDeletionSupport(p, cat)
 	}
 	return cp, nil
 }

@@ -1,0 +1,454 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/storage"
+)
+
+// Differential property tests for non-monotone maintenance: on randomized
+// mixed insert/delete streams over the progdiff corpus — flat view sets
+// (counting) and recursive, mutually recursive, and Skolem-head programs
+// (DRed) — the maintained database must equal a full re-materialization
+// from the surviving base facts after every batch, relation by relation.
+
+// randomDeletes draws a batch of deletions: mostly tuples present in the
+// shadow EDB (so deletions actually bite), plus the occasional absent
+// tuple that must be a no-op.
+func randomDeletes(rng *rand.Rand, edb *storage.Database) map[string][]storage.Tuple {
+	del := make(map[string][]storage.Tuple)
+	for _, pred := range []string{"e", "u", "m", "t3"} {
+		rel := edb.Relation(pred)
+		if rel == nil || rel.Len() == 0 || rng.Intn(3) == 0 {
+			continue
+		}
+		tuples := rel.Tuples()
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			del[pred] = append(del[pred], tuples[rng.Intn(len(tuples))])
+		}
+	}
+	if rng.Intn(4) == 0 {
+		del["e"] = append(del["e"], storage.Tuple{"zz", "zz"})
+	}
+	return del
+}
+
+func TestApplyUpdatesDifferential(t *testing.T) {
+	streams := 300
+	if testing.Short() {
+		streams = 60
+	}
+	rng := rand.New(rand.NewSource(0xDE1E7E))
+	flat, dred := 0, 0
+	for stream := 0; stream < streams; stream++ {
+		edb := randomProgDB(rng)
+		prog := randomProgram(rng, stream)
+		cp, err := CompileProgramIVM(prog, cost.NewRowCatalog(edb))
+		if err != nil {
+			t.Fatalf("stream %d: compile: %v\n%s", stream, err, prog)
+		}
+		if cp.flat {
+			flat++
+		} else {
+			dred++
+		}
+		st := cp.NewMaintState(edb)
+		maintained, err := cp.Eval(edb)
+		if err != nil {
+			t.Fatalf("stream %d: materialize: %v\n%s", stream, err, prog)
+		}
+		if rng.Intn(2) == 0 {
+			maintained.BuildIndexes()
+		}
+		shadow := edb.Clone()
+
+		batches := 2 + rng.Intn(4)
+		for batch := 0; batch < batches; batch++ {
+			var ins, del map[string][]storage.Tuple
+			switch rng.Intn(4) {
+			case 0: // delete-heavy
+				del = randomDeletes(rng, shadow)
+			case 1: // insert-only (exercises the lazy-counts boundary)
+				ins = randomUpdate(rng)
+			default: // mixed churn
+				del = randomDeletes(rng, shadow)
+				ins = randomUpdate(rng)
+			}
+			workers := 1 + rng.Intn(4)
+			res, err := cp.ApplyUpdates(maintained, st, ins, del, workers)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: update: %v\n%s", stream, batch, err, prog)
+			}
+			// Shadow semantics: deletions first, then insertions.
+			for pred, tuples := range del {
+				for _, tup := range tuples {
+					shadow.Remove(pred, tup)
+				}
+			}
+			for pred, tuples := range ins {
+				for _, tup := range tuples {
+					if err := shadow.Insert(pred, tup); err != nil {
+						t.Fatalf("stream %d batch %d: shadow insert: %v", stream, batch, err)
+					}
+				}
+			}
+			// Result bookkeeping must match the database.
+			for pred, tuples := range res.BaseDeleted {
+				for _, tup := range tuples {
+					if maintained.Relation(pred) != nil && maintained.Relation(pred).Contains(tup) {
+						if !containsTuple(res.BaseInserted[pred], tup) && !containsTuple(ins[pred], tup) {
+							t.Fatalf("stream %d batch %d: deleted base tuple %s%v survives", stream, batch, pred, tup)
+						}
+					}
+				}
+			}
+			for pred, tuples := range res.Derived {
+				for _, tup := range tuples {
+					if !maintained.Relation(pred).Contains(tup) {
+						t.Fatalf("stream %d batch %d: derived tuple %s%v missing", stream, batch, pred, tup)
+					}
+				}
+			}
+			for pred, tuples := range res.Retracted {
+				for _, tup := range tuples {
+					if maintained.Relation(pred).Contains(tup) && !containsTuple(res.Derived[pred], tup) {
+						t.Fatalf("stream %d batch %d: retracted tuple %s%v survives", stream, batch, pred, tup)
+					}
+				}
+			}
+
+			want, err := prog.EvalInterp(shadow)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: interp: %v\n%s", stream, batch, err, prog)
+			}
+			diffDatabases(t, fmt.Sprintf("stream %d batch %d (mixed update vs full)\n%s", stream, batch, prog), maintained, want)
+		}
+	}
+	if flat == 0 || dred == 0 {
+		t.Fatalf("corpus skew: %d flat / %d DRed streams — both paths must be exercised", flat, dred)
+	}
+}
+
+func containsTuple(ts []storage.Tuple, tup storage.Tuple) bool {
+	for _, t := range ts {
+		if t.Key() == tup.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestApplyUpdatesCounting pins the flat-program counting semantics that
+// randomized streams hit only by chance: cross-rule support, multiple
+// derivations within one rule, and a same-tuple delete+insert in one batch.
+func TestApplyUpdatesCounting(t *testing.T) {
+	prog := NewProgram(
+		RuleFromQuery(mustQ("v(X) :- a(X)")),
+		RuleFromQuery(mustQ("v(X) :- b(X)")),
+		RuleFromQuery(mustQ("w(X) :- r(X,Y)")),
+	)
+	base := storage.NewDatabase()
+	base.Insert("a", storage.Tuple{"1"})
+	base.Insert("b", storage.Tuple{"1"})
+	base.Insert("r", storage.Tuple{"1", "p"})
+	base.Insert("r", storage.Tuple{"1", "q"})
+	cp, err := CompileProgramIVM(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.flat {
+		t.Fatal("view set should select the counting strategy")
+	}
+	st := cp.NewMaintState(base)
+	db, err := cp.Eval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-rule: v(1) has two supports; losing one must not retract it.
+	res, err := cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"a": {{"1"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retracted["v"]) != 0 || !db.Relation("v").Contains(storage.Tuple{"1"}) {
+		t.Fatalf("v(1) retracted with a surviving support: %+v", res.Retracted)
+	}
+	if !st.CountsReady() {
+		t.Fatal("first deletion should have built the derivation counts")
+	}
+	res, err = cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"b": {{"1"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retracted["v"]) != 1 || db.Relation("v").Contains(storage.Tuple{"1"}) {
+		t.Fatalf("v(1) must go when its last support does: %+v", res.Retracted)
+	}
+
+	// Within-rule multiplicity: w(1) has two r-derivations.
+	res, err = cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"r": {{"1", "p"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retracted["w"]) != 0 || !db.Relation("w").Contains(storage.Tuple{"1"}) {
+		t.Fatal("w(1) retracted while r(1,q) still derives it")
+	}
+
+	// Same-tuple delete+insert in one batch nets to present.
+	res, err = cp.ApplyUpdates(db, st,
+		map[string][]storage.Tuple{"r": {{"1", "q"}}},
+		map[string][]storage.Tuple{"r": {{"1", "q"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Relation("w").Contains(storage.Tuple{"1"}) || !db.Relation("r").Contains(storage.Tuple{"1", "q"}) {
+		t.Fatal("delete+insert of the same tuple must net to present")
+	}
+	// And the counts stayed exact: one more delete retracts.
+	res, err = cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"r": {{"1", "q"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retracted["w"]) != 1 || db.Relation("w").Contains(storage.Tuple{"1"}) {
+		t.Fatalf("w(1) must go with its last derivation: %+v", res.Retracted)
+	}
+}
+
+// TestApplyUpdatesBaselineFacts: derived predicates seeded from same-named
+// base facts keep those facts forever — their support is the base relation
+// itself, not any rule derivation.
+func TestApplyUpdatesBaselineFacts(t *testing.T) {
+	// Flat (counting) shape.
+	base := storage.NewDatabase()
+	base.Insert("r", storage.Tuple{"a"})
+	base.Insert("v", storage.Tuple{"a"}) // also rule-derivable
+	base.Insert("v", storage.Tuple{"s"}) // baseline only
+	prog := NewProgram(RuleFromQuery(mustQ("v(X) :- r(X)")))
+	cp, err := CompileProgramIVM(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cp.NewMaintState(base)
+	db, err := cp.Eval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"r": {{"a"}}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range []storage.Tuple{{"a"}, {"s"}} {
+		if !db.Relation("v").Contains(tup) {
+			t.Fatalf("baseline fact v%v lost to a rule-support deletion", tup)
+		}
+	}
+
+	// Recursive (DRed) shape.
+	base2 := storage.NewDatabase()
+	base2.Insert("e", storage.Tuple{"a", "b"})
+	base2.Insert("tc", storage.Tuple{"x", "y"})
+	prog2 := NewProgram(
+		RuleFromQuery(mustQ("tc(X,Y) :- e(X,Y)")),
+		RuleFromQuery(mustQ("tc(X,Z) :- tc(X,Y), e(Y,Z)")),
+	)
+	cp2, err := CompileProgramIVM(prog2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.flat {
+		t.Fatal("recursive program should select DRed")
+	}
+	st2 := cp2.NewMaintState(base2)
+	db2, err := cp2.Eval(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cp2.ApplyUpdates(db2, st2, nil, map[string][]storage.Tuple{"e": {{"a", "b"}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Relation("tc").Contains(storage.Tuple{"a", "b"}) {
+		t.Fatal("tc(a,b) must be retracted with its only edge")
+	}
+	if !db2.Relation("tc").Contains(storage.Tuple{"x", "y"}) {
+		t.Fatalf("baseline fact tc(x,y) must survive: retracted=%v", res.Retracted)
+	}
+}
+
+// TestApplyUpdatesDRedRederive pins the survivor case DRed exists for:
+// over-deletion marks tuples that keep an alternative derivation, and the
+// re-derive pass must restore them.
+func TestApplyUpdatesDRedRederive(t *testing.T) {
+	base := storage.NewDatabase()
+	// Two paths a→c: direct edge and via b. Deleting a→c keeps tc(a,c).
+	base.Insert("e", storage.Tuple{"a", "b"})
+	base.Insert("e", storage.Tuple{"b", "c"})
+	base.Insert("e", storage.Tuple{"a", "c"})
+	base.Insert("e", storage.Tuple{"c", "d"})
+	prog := NewProgram(
+		RuleFromQuery(mustQ("tc(X,Y) :- e(X,Y)")),
+		RuleFromQuery(mustQ("tc(X,Z) :- tc(X,Y), e(Y,Z)")),
+	)
+	cp, err := CompileProgramIVM(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cp.NewMaintState(base)
+	db, err := cp.Eval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.BuildIndexes()
+	res, err := cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"e": {{"a", "c"}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tc(a,c) and tc(a,d) survive via b; nothing else is lost.
+	for _, tup := range []storage.Tuple{{"a", "c"}, {"a", "d"}, {"a", "b"}, {"b", "c"}, {"c", "d"}, {"b", "d"}} {
+		if !db.Relation("tc").Contains(tup) {
+			t.Fatalf("tc%v lost despite a surviving derivation; retracted=%v", tup, res.Retracted)
+		}
+	}
+	if len(res.Retracted["tc"]) != 0 {
+		t.Fatalf("no tc tuple should be retracted, got %v", res.Retracted["tc"])
+	}
+	if !db.Relation("tc").Frozen() {
+		t.Fatal("maintained extent lost its indexes across a DRed batch")
+	}
+
+	// Now cut the alternative path too: the downstream closure collapses.
+	_, err = cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"e": {{"a", "b"}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := storage.NewDatabase()
+	shadow.Insert("e", storage.Tuple{"b", "c"})
+	shadow.Insert("e", storage.Tuple{"c", "d"})
+	want, err := prog.EvalInterp(shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffDatabases(t, "post-collapse closure", db, want)
+}
+
+// TestApplyUpdatesErrors covers the rejection and atomicity contract:
+// invalid batches fail before mutation, failing batches roll back fully.
+func TestApplyUpdatesErrors(t *testing.T) {
+	prog := NewProgram(RuleFromQuery(mustQ("v(X) :- r(X,Y)")))
+	plain, err := CompileProgram(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.ApplyUpdates(storage.NewDatabase(), nil, nil, nil, 1); err != ErrNotMaintenance {
+		t.Fatalf("non-IVM program: err = %v, want ErrNotMaintenance", err)
+	}
+
+	cp, err := CompileProgramIVM(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := storage.NewDatabase()
+	base.Insert("r", storage.Tuple{"a", "b"})
+	st := cp.NewMaintState(base)
+	db, err := cp.Eval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting from the derived relation is rejected.
+	if _, err := cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{"v": {{"a"}}}, 1); err == nil {
+		t.Fatal("delete from derived relation accepted")
+	}
+	// Arity mismatch on the delete side fails before the insert side runs.
+	_, err = cp.ApplyUpdates(db, st,
+		map[string][]storage.Tuple{"r": {{"c", "d"}}},
+		map[string][]storage.Tuple{"r": {{"oops"}}}, 1)
+	if err == nil {
+		t.Fatal("wrong-arity delete accepted")
+	}
+	var ae *storage.ArityError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *storage.ArityError", err)
+	}
+	if db.Relation("r").Len() != 1 || db.Relation("r").Contains(storage.Tuple{"c", "d"}) {
+		t.Fatal("failed batch mutated the database")
+	}
+	// Deleting absent tuples and from absent relations is a clean no-op.
+	res, err := cp.ApplyUpdates(db, st, nil, map[string][]storage.Tuple{
+		"r":       {{"z", "z"}},
+		"missing": {{"1"}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseDeleted) != 0 || len(res.Retracted) != 0 {
+		t.Fatalf("no-op delete batch reported changes: %+v", res)
+	}
+}
+
+// TestApplyUpdatesCancelRollback: a canceled or budget-tripped batch must
+// leave the database bit-identical to its pre-batch state — deletions
+// re-inserted, insertions truncated, batch-created relations dropped.
+func TestApplyUpdatesCancelRollback(t *testing.T) {
+	for _, recursive := range []bool{false, true} {
+		base := storage.NewDatabase()
+		for i := 0; i < 20; i++ {
+			base.Insert("e", storage.Tuple{fmt.Sprint(i), fmt.Sprint(i + 1)})
+		}
+		var prog *Program
+		if recursive {
+			prog = NewProgram(
+				RuleFromQuery(mustQ("tc(X,Y) :- e(X,Y)")),
+				RuleFromQuery(mustQ("tc(X,Z) :- tc(X,Y), e(Y,Z)")),
+			)
+		} else {
+			prog = NewProgram(RuleFromQuery(mustQ("v(X,Z) :- e(X,Y), e(Y,Z)")))
+		}
+		cp, err := CompileProgramIVM(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := cp.NewMaintState(base)
+		db, err := cp.Eval(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshot := db.Clone()
+
+		// Pre-canceled context: rejected before any work.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := cp.ApplyUpdatesCtx(ctx, db, st, nil, map[string][]storage.Tuple{"e": {{"0", "1"}}}, 1, Limits{}); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("recursive=%v: err = %v, want ErrCanceled", recursive, err)
+		}
+		diffDatabases(t, "canceled batch", db, snapshot)
+
+		// A tripped budget mid-batch rolls everything back: in the DRed
+		// case the over-deletion fixpoint trips it mid-retraction, in the
+		// counting case the insert side derives past the cap.
+		ins := map[string][]storage.Tuple{"e": {{"20", "21"}, {"21", "22"}}}
+		del := map[string][]storage.Tuple{"e": {{"0", "1"}, {"5", "6"}}}
+		_, err = cp.ApplyUpdatesCtx(context.Background(), db, st, ins, del, 2, Limits{MaxDerived: 1})
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("recursive=%v: err = %v, want ErrBudgetExceeded", recursive, err)
+		}
+		diffDatabases(t, fmt.Sprintf("budget-tripped batch (recursive=%v)", recursive), db, snapshot)
+
+		// The same batch with room succeeds and stays consistent.
+		if _, err := cp.ApplyUpdatesCtx(context.Background(), db, st, ins, del, 2, Limits{}); err != nil {
+			t.Fatalf("recursive=%v: %v", recursive, err)
+		}
+		shadow := base.Clone()
+		shadow.Remove("e", storage.Tuple{"0", "1"})
+		shadow.Remove("e", storage.Tuple{"5", "6"})
+		shadow.Insert("e", storage.Tuple{"20", "21"})
+		shadow.Insert("e", storage.Tuple{"21", "22"})
+		want, err := prog.EvalInterp(shadow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffDatabases(t, fmt.Sprintf("post-rollback batch (recursive=%v)", recursive), db, want)
+	}
+}

@@ -22,7 +22,8 @@ import (
 //     gained tuples, with the batch at the join root and every other atom
 //     reading the post-batch database — any derivation that uses at least
 //     one new base tuple is found, and derivations that use none were
-//     already present (insert-only monotonicity);
+//     already present (insertion is monotone; deletions take the
+//     non-monotone counting/DRed path in delete.go via ApplyUpdates);
 //   - subsequent rounds are ordinary semi-naive: the IDB delta variants
 //     fire on whatever the previous round newly derived, until quiescence;
 //   - within a round the database is only read (derivations are buffered

@@ -313,10 +313,14 @@ type Stats struct {
 	FixpointDerived    uint64
 	// UpdateBatches counts applied live-update batches (LiveUpdates
 	// engines); UpdateTuples the base tuples that were new across them,
-	// and DeltaDerived the extent tuples delta-maintenance derived.
-	UpdateBatches uint64
-	UpdateTuples  uint64
-	DeltaDerived  uint64
+	// UpdateDeleted the base tuples retracted, DeltaDerived the extent
+	// tuples delta-maintenance derived, and DeltaRetracted the extent
+	// tuples retracted because a deletion removed their last derivation.
+	UpdateBatches  uint64
+	UpdateTuples   uint64
+	UpdateDeleted  uint64
+	DeltaDerived   uint64
+	DeltaRetracted uint64
 	// MaintainTime is the cumulative wall time of update batches:
 	// delta propagation plus the serving-snapshot appends.
 	MaintainTime time.Duration
@@ -334,7 +338,9 @@ type Stats struct {
 // for concurrent use. Without Options.LiveUpdates the database it serves
 // from is frozen (indexed) at construction and must not be mutated
 // afterwards; with LiveUpdates, Insert/InsertBatch/ApplyBatch apply base
-// facts and delta-maintain every extent while answers keep flowing.
+// facts, Delete/DeleteBatch retract them, and ApplyUpdate applies a mixed
+// batch — every extent is incrementally maintained (counting or DRed on
+// the delete side) while answers keep flowing.
 type Engine struct {
 	views    *core.ViewSet
 	viewDefs []*cq.Query
@@ -369,7 +375,9 @@ type Engine struct {
 	fixpointDrvd  atomic.Uint64
 	updBatches    atomic.Uint64
 	updTuples     atomic.Uint64
+	updDeleted    atomic.Uint64
 	updDerived    atomic.Uint64
+	updRetracted  atomic.Uint64
 	maintainTime  atomic.Int64 // nanoseconds
 	panics        atomic.Uint64
 
@@ -628,13 +636,47 @@ func (e *Engine) ApplyBatch(updates map[string][]storage.Tuple) error {
 	return e.ApplyBatchCtx(context.Background(), updates)
 }
 
-// applySide appends one batch's base and extent deltas to serving side i —
+// Delete retracts one base fact, retracting every extent tuple that loses
+// its last derivation (counting for flat view sets, DRed for recursive
+// programs — see internal/datalog's ApplyUpdates).
+func (e *Engine) Delete(pred string, t storage.Tuple) error {
+	return e.ApplyUpdate(nil, map[string][]storage.Tuple{pred: {t}})
+}
+
+// DeleteBatch retracts a batch of base facts under one predicate in a
+// single propagation.
+func (e *Engine) DeleteBatch(pred string, tuples []storage.Tuple) error {
+	return e.ApplyUpdate(nil, map[string][]storage.Tuple{pred: tuples})
+}
+
+// ApplyUpdate applies a mixed batch — deletions then insertions, any
+// number of predicates each — as one atomic, undo-logged unit: either
+// every retraction and every insertion lands, left-right published to
+// both serving sides, or none do. Deleting from (or inserting into) a
+// view predicate is an error, as is calling this on an engine built
+// without Options.LiveUpdates. Deleting a tuple that is not present is a
+// no-op, not an error.
+func (e *Engine) ApplyUpdate(inserts, deletes map[string][]storage.Tuple) error {
+	return e.ApplyUpdateCtx(context.Background(), inserts, deletes)
+}
+
+// applySide applies one batch's removals and deltas to serving side i —
 // the flat database and, when the engine is sharded, its partitioned twin,
 // both under the side's write lock so snapshots stay mutually consistent.
-func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
+// Removals replay before insertions: a tuple deleted and re-derived in the
+// same batch appears in both BatchResult maps, and the opposite order
+// would retract it from the serving side after re-inserting it. Every
+// successful removal is journaled into the publish undo log so a failed
+// publish can re-insert it.
+func (l *liveState) applySide(i int32, res *ivm.BatchResult, u *sideUndo) error {
 	l.locks[i].Lock()
 	defer l.locks[i].Unlock()
 	db := l.sides[i]
+	pdb := l.psides[i]
+	if l.servesBase {
+		removeDelta(db, pdb, res.BaseDeleted, u, i)
+	}
+	removeDelta(db, pdb, res.ExtentRetracted, u, i)
 	if l.servesBase {
 		if err := appendDelta(db, res.BaseInserted); err != nil {
 			return err
@@ -643,7 +685,7 @@ func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
 	if err := appendDelta(db, res.ExtentDelta); err != nil {
 		return err
 	}
-	if pdb := l.psides[i]; pdb != nil {
+	if pdb != nil {
 		if l.servesBase {
 			if err := appendDeltaSharded(pdb, l.partCols, res.BaseInserted); err != nil {
 				return err
@@ -652,6 +694,31 @@ func (l *liveState) applySide(i int32, res *ivm.BatchResult) error {
 		return appendDeltaSharded(pdb, l.partCols, res.ExtentDelta)
 	}
 	return nil
+}
+
+// removeDelta removes retracted tuples from a serving side and its
+// partitioned twin, journaling each removal (once — the twins hold
+// identical contents) so restoreSides can re-insert it. Missing relations
+// and absent tuples are skipped: the maintainer only reports removals that
+// were present in its database, which the sides mirror, so a miss here
+// would mean a divergence this function must not widen.
+func removeDelta(db *storage.Database, pdb *storage.PartitionedDatabase, delta map[string][]storage.Tuple, u *sideUndo, side int32) {
+	for pred, tuples := range delta {
+		rel := db.Relation(pred)
+		if rel == nil {
+			continue
+		}
+		for _, t := range tuples {
+			if rel.Remove(t) {
+				u.removed[side] = append(u.removed[side], sideRemoval{pred: pred, t: t})
+			}
+			if pdb != nil {
+				if pr := pdb.Relation(pred); pr != nil {
+					pr.Remove(t)
+				}
+			}
+		}
+	}
 }
 
 // appendDelta inserts delta tuples, creating (and freezing) relations for
@@ -939,7 +1006,9 @@ func (e *Engine) Stats() Stats {
 		FixpointDerived:    e.fixpointDrvd.Load(),
 		UpdateBatches:      e.updBatches.Load(),
 		UpdateTuples:       e.updTuples.Load(),
+		UpdateDeleted:      e.updDeleted.Load(),
 		DeltaDerived:       e.updDerived.Load(),
+		DeltaRetracted:     e.updRetracted.Load(),
 		MaintainTime:       time.Duration(e.maintainTime.Load()),
 		Admission:          e.admit.snapshot(),
 		Panics:             e.panics.Load(),

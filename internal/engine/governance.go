@@ -499,12 +499,28 @@ func (e *Engine) execBudget(ctx context.Context, p *Plan, args []string, b Budge
 // Options.Budget applies (deadline, MaxDerivedTuples, MaxFixpointRounds;
 // MaxResultRows does not apply to updates).
 func (e *Engine) ApplyBatchCtx(ctx context.Context, updates map[string][]storage.Tuple) error {
-	return e.ApplyBatchBudget(ctx, updates, e.opt.Budget)
+	return e.ApplyUpdateBudget(ctx, updates, nil, e.opt.Budget)
 }
 
 // ApplyBatchBudget is ApplyBatch under a context and an explicit per-call
 // budget, with the same atomicity guarantee as ApplyBatchCtx.
-func (e *Engine) ApplyBatchBudget(ctx context.Context, updates map[string][]storage.Tuple, b Budget) (err error) {
+func (e *Engine) ApplyBatchBudget(ctx context.Context, updates map[string][]storage.Tuple, b Budget) error {
+	return e.ApplyUpdateBudget(ctx, updates, nil, b)
+}
+
+// ApplyUpdateCtx is ApplyUpdate under a context, with the same atomicity
+// guarantee as ApplyBatchCtx: a canceled or budget-tripped batch — even
+// one caught mid-retraction — rolls the maintainer back and never touches
+// the serving sides. The engine-wide Options.Budget applies.
+func (e *Engine) ApplyUpdateCtx(ctx context.Context, inserts, deletes map[string][]storage.Tuple) error {
+	return e.ApplyUpdateBudget(ctx, inserts, deletes, e.opt.Budget)
+}
+
+// ApplyUpdateBudget is the mixed-batch execution path every mutation entry
+// point funnels through: panic isolation, admission (updates weigh 2),
+// deadline attachment, the maintainer's atomic propagation, and the
+// left-right publish of removals and deltas.
+func (e *Engine) ApplyUpdateBudget(ctx context.Context, inserts, deletes map[string][]storage.Tuple, b Budget) (err error) {
 	if e.live == nil {
 		return ErrNotLive
 	}
@@ -521,34 +537,52 @@ func (e *Engine) ApplyBatchBudget(ctx context.Context, updates map[string][]stor
 	l.updateMu.Lock()
 	defer l.updateMu.Unlock()
 	start := time.Now()
-	res, err := l.maint.ApplyBatchCtx(ctx, updates, b.limits())
+	res, err := l.maint.ApplyUpdateCtx(ctx, inserts, deletes, b.limits())
 	if err != nil {
 		// The maintainer rolled back; the serving sides were never touched.
 		return err
 	}
 	// A batch that finishes propagation before the deadline publishes: the
-	// publish step is pure insertion of already-computed deltas and is not
+	// publish step replays already-computed removals and deltas and is not
 	// a cancellation point — aborting it would tear the left-right pair.
 	if err := e.publish(res); err != nil {
 		return err
 	}
-	baseNew := 0
+	baseNew, baseGone, retracted := 0, 0, 0
 	for _, tuples := range res.BaseInserted {
 		baseNew += len(tuples)
 	}
+	for _, tuples := range res.BaseDeleted {
+		baseGone += len(tuples)
+	}
+	for _, tuples := range res.ExtentRetracted {
+		retracted += len(tuples)
+	}
 	e.updBatches.Add(1)
 	e.updTuples.Add(uint64(baseNew))
+	e.updDeleted.Add(uint64(baseGone))
 	e.updDerived.Add(uint64(res.Stats.Derived))
+	e.updRetracted.Add(uint64(retracted))
 	e.maintainTime.Add(int64(time.Since(start)))
 	return nil
 }
 
+// sideRemoval is one journaled serving-side retraction: the tuple applySide
+// removed from a side's flat database (and its partitioned twin).
+type sideRemoval struct {
+	pred string
+	t    storage.Tuple
+}
+
 // sideUndo records both serving sides' pre-publish relation sizes plus the
-// active pointer, so a failed or panicking publish can restore the pair.
+// active pointer, and accumulates the removals applySide performs, so a
+// failed or panicking publish can restore the pair: truncate each relation
+// past the appended deltas, then re-insert the journaled removals.
 type sideUndo struct {
-	active int32
-	flat   [2]map[string]int
-	part   [2]map[string][]int
+	active  int32
+	flat    [2]map[string]int
+	part    [2]map[string][]int
+	removed [2][]sideRemoval
 }
 
 // snapshotSides captures the publish undo log. Called under updateMu — the
@@ -580,19 +614,30 @@ func (l *liveState) snapshotSides() sideUndo {
 // restoreSides rolls both serving sides back to the undo log under their
 // write locks and restores the active pointer — the pair is mutually
 // consistent (both pre-batch) again even if publish failed halfway.
+// Removals replayed before the appends shrank each relation below its
+// snapshot length, so the truncation target is the snapshot minus the
+// journaled removal count; re-inserting the journaled tuples afterwards
+// restores the pre-batch tuple set exactly (intra-relation order may
+// permute — Remove backfills from the tail — which snapshots never
+// observe).
 func (l *liveState) restoreSides(u sideUndo) {
 	for i := 0; i < 2; i++ {
 		l.locks[i].Lock()
 		db := l.sides[i]
+		removed := make(map[string]int, len(u.removed[i]))
+		for _, r := range u.removed[i] {
+			removed[r.pred]++
+		}
 		for _, pred := range db.Predicates() {
 			n, ok := u.flat[i][pred]
 			if !ok {
 				db.Drop(pred)
 				continue
 			}
-			db.Relation(pred).TruncateTo(n)
+			db.Relation(pred).TruncateTo(n - removed[pred])
 		}
-		if pdb := l.psides[i]; pdb != nil {
+		pdb := l.psides[i]
+		if pdb != nil {
 			for _, pred := range pdb.Predicates() {
 				ns, ok := u.part[i][pred]
 				if !ok {
@@ -600,8 +645,31 @@ func (l *liveState) restoreSides(u sideUndo) {
 					continue
 				}
 				pr := pdb.Relation(pred)
+				shardRemoved := make([]int, pr.NumShards())
+				if removed[pred] > 0 {
+					col := pr.PartitionColumn()
+					for _, r := range u.removed[i] {
+						if r.pred != pred {
+							continue
+						}
+						s := 0
+						if pr.Arity() > 0 {
+							s = storage.ShardOf(r.t[col], pr.NumShards())
+						}
+						shardRemoved[s]++
+					}
+				}
 				for s, n := range ns {
-					pr.Shard(s).TruncateTo(n)
+					pr.Shard(s).TruncateTo(n - shardRemoved[s])
+				}
+			}
+		}
+		for j := len(u.removed[i]) - 1; j >= 0; j-- {
+			r := u.removed[i][j]
+			db.Relation(r.pred).Insert(r.t)
+			if pdb != nil {
+				if pr := pdb.Relation(r.pred); pr != nil {
+					pr.Insert(r.t)
 				}
 			}
 		}
@@ -610,11 +678,11 @@ func (l *liveState) restoreSides(u sideUndo) {
 	l.active.Store(u.active)
 }
 
-// publish appends a batch's deltas to both serving sides with the usual
-// left-right flip. On an error or panic partway through, both sides are
-// rolled back to their pre-batch state and the active pointer restored, so
-// the serving pair never stays torn; a panic is re-raised to the entry
-// point's recover guard after the rollback.
+// publish replays a batch's removals and deltas onto both serving sides
+// with the usual left-right flip. On an error or panic partway through,
+// both sides are rolled back to their pre-batch state and the active
+// pointer restored, so the serving pair never stays torn; a panic is
+// re-raised to the entry point's recover guard after the rollback.
 func (e *Engine) publish(res *ivm.BatchResult) error {
 	l := e.live
 	undo := l.snapshotSides()
@@ -625,12 +693,12 @@ func (e *Engine) publish(res *ivm.BatchResult) error {
 		}
 	}()
 	i := 1 - undo.active
-	if err := l.applySide(i, res); err != nil {
+	if err := l.applySide(i, res, &undo); err != nil {
 		l.restoreSides(undo)
 		return err
 	}
 	l.active.Store(i)
-	if err := l.applySide(1-i, res); err != nil {
+	if err := l.applySide(1-i, res, &undo); err != nil {
 		l.restoreSides(undo)
 		return err
 	}

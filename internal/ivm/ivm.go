@@ -1,15 +1,24 @@
 // Package ivm incrementally maintains materialized view extents under
-// base-fact inserts. A Maintainer owns a private database holding the base
-// relations and every view extent; each view definition is compiled once
-// into per-EDB-occurrence delta plans (datalog.CompileProgramIVM), and an
-// update batch runs one semi-naive propagation round per affected
-// occurrence instead of re-materializing any extent — work is proportional
-// to the consequences of the batch, not to the size of the database.
+// base-fact inserts, deletions, and mixed update batches. A Maintainer
+// owns a private database holding the base relations and every view
+// extent; each view definition is compiled once into per-EDB-occurrence
+// delta plans (datalog.CompileProgramIVM), and an update batch runs one
+// semi-naive propagation round per affected occurrence instead of
+// re-materializing any extent — work is proportional to the consequences
+// of the batch, not to the size of the database.
 //
-// The Maintainer is the engine's mutation path: Engine.InsertBatch applies
-// a batch here, then forwards the returned base and extent deltas to its
-// serving snapshots. It is equally usable standalone for applications that
-// keep extents fresh without the serving layer.
+// Inserts propagate monotonically. Deletions are non-monotone and take the
+// datalog counting/DRed machinery (ApplyUpdates): view sets are flat, so
+// the compiled program tracks exact per-derived-tuple derivation counts —
+// built lazily on the first deletion — and retracts an extent tuple
+// exactly when its count reaches zero. Batches mixing deletions and
+// insertions apply deletions first and are atomic either way.
+//
+// The Maintainer is the engine's mutation path: Engine.InsertBatch and
+// Engine.DeleteBatch apply a batch here, then forward the returned base
+// and extent deltas to the serving snapshots. It is equally usable
+// standalone for applications that keep extents fresh without the serving
+// layer.
 //
 // A Maintainer is single-writer: calls to ApplyBatch must be serialized by
 // the caller (the engine holds an update mutex). Reads of the maintained
@@ -48,15 +57,18 @@ type Maintainer struct {
 	views     []*cq.Query
 	viewNames map[string]bool
 	cp        *datalog.CompiledProgram
+	st        *datalog.MaintState
 	db        *storage.Database // base relations + maintained extents
 	pdb       *storage.PartitionedDatabase // hash-partitioned twin of db when Options.Shards > 1
 	opt       Options
 
-	batches      uint64
-	baseInserted uint64
-	derived      uint64
-	rounds       uint64
-	maintainTime time.Duration
+	batches       uint64
+	baseInserted  uint64
+	baseDeleted   uint64
+	derived       uint64
+	retracted     uint64
+	rounds        uint64
+	maintainTime  time.Duration
 }
 
 // BatchResult reports one applied update batch.
@@ -64,9 +76,18 @@ type BatchResult struct {
 	// BaseInserted maps each base predicate to the tuples that were
 	// actually new; duplicates of existing facts are dropped.
 	BaseInserted map[string][]storage.Tuple
+	// BaseDeleted maps each base predicate to the tuples that were
+	// actually present and removed; deletions of absent facts are dropped.
+	BaseDeleted map[string][]storage.Tuple
 	// ExtentDelta maps each view to the extent tuples the propagation
 	// derived.
 	ExtentDelta map[string][]storage.Tuple
+	// ExtentRetracted maps each view to the extent tuples the batch's
+	// deletions retracted (their last derivation is gone). A mixed batch
+	// must be replayed retractions-first: an insert in the same batch may
+	// re-derive a retracted tuple, in which case it also appears in
+	// ExtentDelta.
+	ExtentRetracted map[string][]storage.Tuple
 	// Stats reports the propagation rounds and derived-tuple count.
 	Stats datalog.FixpointStats
 	// Duration is the wall time of the batch: inserts plus propagation.
@@ -75,12 +96,16 @@ type BatchResult struct {
 
 // Stats aggregates a Maintainer's lifetime work.
 type Stats struct {
-	// Batches is the number of ApplyBatch calls that succeeded.
+	// Batches is the number of ApplyBatch/ApplyUpdate calls that succeeded.
 	Batches uint64
 	// BaseInserted counts base tuples that were new across all batches.
 	BaseInserted uint64
+	// BaseDeleted counts base tuples removed across all batches.
+	BaseDeleted uint64
 	// ExtentDerived counts extent tuples derived across all batches.
 	ExtentDerived uint64
+	// ExtentRetracted counts extent tuples retracted across all batches.
+	ExtentRetracted uint64
 	// Rounds counts propagation rounds across all batches.
 	Rounds uint64
 	// MaintainTime is the cumulative wall time spent applying batches.
@@ -111,12 +136,15 @@ func New(base *storage.Database, views []*cq.Query, opt Options) (*Maintainer, e
 	if err != nil {
 		return nil, fmt.Errorf("ivm: %w", err)
 	}
+	// Deletion state must see the pre-materialization base: view-named
+	// facts present there are baseline and survive every retraction.
+	st := cp.NewMaintState(base)
 	db, err := cp.Eval(base)
 	if err != nil {
 		return nil, fmt.Errorf("ivm: materialize: %w", err)
 	}
 	db.BuildIndexes()
-	m := &Maintainer{views: views, viewNames: names, cp: cp, db: db, opt: opt}
+	m := &Maintainer{views: views, viewNames: names, cp: cp, st: st, db: db, opt: opt}
 	if opt.Shards > 1 {
 		// Partition the materialized state (base + extents) under the
 		// catalog's probe-column policy; the mirror is the propagation
@@ -153,10 +181,21 @@ func (m *Maintainer) ApplyBatch(updates map[string][]storage.Tuple) (*BatchResul
 	return m.ApplyBatchCtx(context.Background(), updates, datalog.Limits{})
 }
 
+// ApplyUpdate applies a mixed batch: deletes are removed (and their extent
+// consequences retracted) first, then inserts propagate as in ApplyBatch.
+// The batch is atomic — on any error both representations are exactly
+// their pre-batch state. Deleting absent tuples is a no-op; view
+// predicates are rejected on both sides.
+func (m *Maintainer) ApplyUpdate(inserts, deletes map[string][]storage.Tuple) (*BatchResult, error) {
+	return m.ApplyUpdateCtx(context.Background(), inserts, deletes, datalog.Limits{})
+}
+
 // undoLog records every relation's pre-batch tuple count (per shard for the
-// partitioned mirror). Because batches are insert-only and Relation appends,
-// truncating each relation back to its recorded length — and dropping
-// relations the batch created — restores the exact pre-batch state.
+// partitioned mirror). It backs the monotone insert path only: those
+// batches never remove tuples, so truncating each relation back to its
+// recorded length — and dropping relations the batch created — restores
+// the exact pre-batch state. Deletion batches are instead journaled inside
+// datalog.ApplyUpdates, which removes before it appends.
 type undoLog struct {
 	flat map[string]int
 	part map[string][]int
@@ -217,8 +256,58 @@ func (m *Maintainer) restore(u undoLog) {
 // database is exactly its pre-batch state, so an aborted batch can simply
 // be retried. A panic during propagation also rolls back before being
 // re-raised to the caller's recover guard.
-func (m *Maintainer) ApplyBatchCtx(ctx context.Context, updates map[string][]storage.Tuple, lim datalog.Limits) (res *BatchResult, err error) {
+func (m *Maintainer) ApplyBatchCtx(ctx context.Context, updates map[string][]storage.Tuple, lim datalog.Limits) (*BatchResult, error) {
+	return m.ApplyUpdateCtx(ctx, updates, nil, lim)
+}
+
+// ApplyUpdateCtx is ApplyUpdate under a cancellation context and evaluation
+// limits, with the same atomicity contract as ApplyBatchCtx: cancellation
+// or a tripped budget mid-retraction rolls the whole batch back. Insert-only
+// batches keep the monotone propagation path (sharded when configured)
+// until the first deletion builds the derivation counts; from then on every
+// batch flows through the counting path so the counts stay exact.
+func (m *Maintainer) ApplyUpdateCtx(ctx context.Context, inserts, deletes map[string][]storage.Tuple, lim datalog.Limits) (*BatchResult, error) {
 	start := time.Now()
+	hasDeletes := false
+	for _, tuples := range deletes {
+		if len(tuples) > 0 {
+			hasDeletes = true
+			break
+		}
+	}
+	var (
+		res *BatchResult
+		err error
+	)
+	if hasDeletes || m.st.CountsReady() {
+		res, err = m.applyNonMonotone(ctx, inserts, deletes, lim)
+	} else {
+		res, err = m.applyMonotone(ctx, inserts, lim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	m.batches++
+	for _, tuples := range res.BaseInserted {
+		m.baseInserted += uint64(len(tuples))
+	}
+	for _, tuples := range res.BaseDeleted {
+		m.baseDeleted += uint64(len(tuples))
+	}
+	for _, tuples := range res.ExtentRetracted {
+		m.retracted += uint64(len(tuples))
+	}
+	m.derived += uint64(res.Stats.Derived)
+	m.rounds += uint64(res.Stats.Iterations)
+	m.maintainTime += res.Duration
+	return res, nil
+}
+
+// applyMonotone is the insert-only path: sharded propagation on the mirror
+// (replaying net effects into the flat database) when configured, flat
+// propagation otherwise, with a length-snapshot undo log for atomicity.
+func (m *Maintainer) applyMonotone(ctx context.Context, updates map[string][]storage.Tuple, lim datalog.Limits) (res *BatchResult, err error) {
 	undo := m.snapshot()
 	defer func() {
 		if r := recover(); r != nil {
@@ -247,20 +336,68 @@ func (m *Maintainer) ApplyBatchCtx(ctx context.Context, updates map[string][]sto
 	if err != nil {
 		return nil, fmt.Errorf("ivm: %w", err)
 	}
-	res = &BatchResult{
-		BaseInserted: fresh,
-		ExtentDelta:  derived,
-		Stats:        stats,
-		Duration:     time.Since(start),
+	return &BatchResult{BaseInserted: fresh, ExtentDelta: derived, Stats: stats}, nil
+}
+
+// applyNonMonotone is the deletion-capable path: the counting update runs
+// on the flat database (datalog.ApplyUpdates journals and rolls back
+// internally, so no snapshot is needed here), then the batch's net effect
+// is replayed into the partitioned mirror — retractions routed to their
+// owner shards first, then insertions.
+func (m *Maintainer) applyNonMonotone(ctx context.Context, inserts, deletes map[string][]storage.Tuple, lim datalog.Limits) (*BatchResult, error) {
+	ures, err := m.cp.ApplyUpdatesCtx(ctx, m.db, m.st, inserts, deletes, m.opt.Workers, lim)
+	if err != nil {
+		return nil, fmt.Errorf("ivm: %w", err)
 	}
-	m.batches++
-	for _, tuples := range fresh {
-		m.baseInserted += uint64(len(tuples))
+	if m.pdb != nil {
+		if err := m.replayNet(ures); err != nil {
+			// Unreachable unless the mirror diverged from the flat
+			// database; the flat update is already committed and correct,
+			// so rebuild the mirror from it rather than guess at repairs.
+			m.pdb = storage.Partition(m.db, m.opt.Shards, cost.NewCatalog(m.db).PartitionColumns(nil))
+			m.pdb.BuildIndexes()
+		}
 	}
-	m.derived += uint64(stats.Derived)
-	m.rounds += uint64(stats.Iterations)
-	m.maintainTime += res.Duration
-	return res, nil
+	return &BatchResult{
+		BaseInserted:    ures.BaseInserted,
+		BaseDeleted:     ures.BaseDeleted,
+		ExtentDelta:     ures.Derived,
+		ExtentRetracted: ures.Retracted,
+		Stats:           ures.Stats,
+	}, nil
+}
+
+// replayNet mirrors a committed flat update into the partitioned twin:
+// removals first (each routed to its owner shard, index postings repaired
+// in place), then insertions — the order a mixed batch requires, since an
+// insert may re-derive a tuple the delete phase retracted.
+func (m *Maintainer) replayNet(ures *datalog.UpdateResult) error {
+	for _, batch := range []map[string][]storage.Tuple{ures.BaseDeleted, ures.Retracted} {
+		for pred, tuples := range batch {
+			pr := m.pdb.Relation(pred)
+			if pr == nil {
+				continue
+			}
+			for _, t := range tuples {
+				pr.Remove(t)
+			}
+		}
+	}
+	for _, batch := range []map[string][]storage.Tuple{ures.BaseInserted, ures.Derived} {
+		for pred, tuples := range batch {
+			if len(tuples) == 0 {
+				continue
+			}
+			pr, err := m.pdb.Ensure(pred, len(tuples[0]), 0)
+			if err != nil {
+				return err
+			}
+			for _, t := range tuples {
+				pr.Insert(t)
+			}
+		}
+	}
+	return nil
 }
 
 // replayFlat inserts a sharded batch's new base and extent tuples into the
@@ -288,10 +425,12 @@ func (m *Maintainer) replayFlat(batches ...map[string][]storage.Tuple) error {
 // Stats snapshots the maintainer's lifetime counters.
 func (m *Maintainer) Stats() Stats {
 	return Stats{
-		Batches:       m.batches,
-		BaseInserted:  m.baseInserted,
-		ExtentDerived: m.derived,
-		Rounds:        m.rounds,
-		MaintainTime:  m.maintainTime,
+		Batches:         m.batches,
+		BaseInserted:    m.baseInserted,
+		BaseDeleted:     m.baseDeleted,
+		ExtentDerived:   m.derived,
+		ExtentRetracted: m.retracted,
+		Rounds:          m.rounds,
+		MaintainTime:    m.maintainTime,
 	}
 }

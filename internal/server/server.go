@@ -10,7 +10,9 @@
 //	POST /v1/exec      handle + args -> answers (the warm path: no parsing,
 //	                   no planning, one compiled-plan execution)
 //	POST /v1/query     one-shot query text -> answers
-//	POST /v1/batch     insert batches through the IVM path (live namespaces)
+//	POST /v1/batch     mixed insert/delete batches through the IVM path
+//	                   (live namespaces); deletions apply before insertions,
+//	                   the whole batch atomically
 //	GET  /v1/stats     engine + session counters, one or all namespaces
 //	GET  /healthz      liveness (503 while draining)
 //
@@ -30,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -121,10 +124,22 @@ func (b *budgetSpec) merge(def engine.Budget) engine.Budget {
 	return out
 }
 
-// decode reads a JSON request body.
+// decode reads a JSON request body. Unknown fields are rejected rather
+// than silently dropped: a client sending a field this server does not
+// understand — "deletes" to a build that predates mixed batches, say —
+// must get an error, not a quietly wrong answer. Those requests are
+// well-formed JSON expressing an operation this server cannot honor, so
+// they map to the invalid_query envelope; syntactically broken bodies stay
+// bad_request.
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			writeErrorCode(w, http.StatusBadRequest, CodeInvalidQuery, fmt.Sprintf("unsupported request field: %v", err))
+			return false
+		}
 		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
@@ -288,9 +303,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // ---- /v1/batch ----
 
+// batchRequest is one mutation batch: inserts under "updates", deletions
+// under "deletes", either or both. The engine applies them as a single
+// atomic unit — deletions first, then insertions.
 type batchRequest struct {
 	Namespace string          `json:"namespace,omitempty"`
 	Updates   map[string]Rows `json:"updates"`
+	Deletes   map[string]Rows `json:"deletes,omitempty"`
 	Budget    *budgetSpec     `json:"budget,omitempty"`
 }
 
@@ -298,6 +317,10 @@ type batchResponse struct {
 	Applied    bool `json:"applied"`
 	Predicates int  `json:"predicates"`
 	Tuples     int  `json:"tuples"`
+	// Deleted counts the retraction tuples the batch submitted (absent
+	// tuples are no-ops on the engine side, so this is the request count,
+	// not the count of tuples actually removed).
+	Deleted int `json:"deleted,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -309,21 +332,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if len(req.Updates) == 0 {
-		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "batch has no updates")
+	if len(req.Updates) == 0 && len(req.Deletes) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "batch has no updates or deletes")
 		return
 	}
+	preds := make(map[string]bool)
 	updates := make(map[string][]storage.Tuple, len(req.Updates))
 	tuples := 0
 	for pred, rows := range req.Updates {
 		updates[pred] = rows
 		tuples += len(rows)
+		preds[pred] = true
 	}
-	if err := ns.Engine.ApplyBatchBudget(r.Context(), updates, req.Budget.merge(ns.Budget)); err != nil {
+	deletes := make(map[string][]storage.Tuple, len(req.Deletes))
+	deleted := 0
+	for pred, rows := range req.Deletes {
+		deletes[pred] = rows
+		deleted += len(rows)
+		preds[pred] = true
+	}
+	if err := ns.Engine.ApplyUpdateBudget(r.Context(), updates, deletes, req.Budget.merge(ns.Budget)); err != nil {
 		writeEngineError(w, err, http.StatusBadRequest, CodeBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Applied: true, Predicates: len(updates), Tuples: tuples})
+	writeJSON(w, http.StatusOK, batchResponse{Applied: true, Predicates: len(preds), Tuples: tuples, Deleted: deleted})
 }
 
 // ---- /v1/stats ----

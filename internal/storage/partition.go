@@ -129,6 +129,26 @@ func (pr *PartitionedRelation) CheckedInsert(t Tuple) (bool, error) {
 	return pr.Owner(t).Insert(t), nil
 }
 
+// Remove routes the retraction to its owner shard, reporting whether the
+// tuple was present — the shard-local mirror of Relation.Remove, so only
+// the owner shard's tuple store and indexes are touched. Like Insert it
+// panics on an arity mismatch and carries the single-writer requirement.
+func (pr *PartitionedRelation) Remove(t Tuple) bool {
+	if len(t) != pr.arity {
+		panic(fmt.Sprintf("storage: relation %s/%d: removing tuple of width %d", pr.name, pr.arity, len(t)))
+	}
+	return pr.Owner(t).Remove(t)
+}
+
+// CheckedRemove is Remove with the arity check surfaced as a typed error
+// (*ArityError) instead of a panic.
+func (pr *PartitionedRelation) CheckedRemove(t Tuple) (bool, error) {
+	if len(t) != pr.arity {
+		return false, &ArityError{Pred: pr.name, Want: pr.arity, Got: len(t)}
+	}
+	return pr.Owner(t).Remove(t), nil
+}
+
 // Contains reports whether the relation holds the tuple (one shard probe).
 func (pr *PartitionedRelation) Contains(t Tuple) bool { return pr.Owner(t).Contains(t) }
 
@@ -294,6 +314,16 @@ func (pdb *PartitionedDatabase) Insert(pred string, t Tuple) error {
 	}
 	pr.Insert(t)
 	return nil
+}
+
+// Remove deletes a tuple under pred, reporting whether it was present. A
+// missing relation or an arity mismatch both report false.
+func (pdb *PartitionedDatabase) Remove(pred string, t Tuple) bool {
+	pr, ok := pdb.rels[pred]
+	if !ok || len(t) != pr.arity {
+		return false
+	}
+	return pr.Remove(t)
 }
 
 // Drop removes the relation for pred, if present. Rollback support: a

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"sort"
+	"testing"
+)
+
+// checkConsistent verifies the relation's invariants after a mutation
+// sequence: the dedup map mirrors the tuple store position by position, and
+// every built posting list holds exactly the positions of its value.
+func checkConsistent(t *testing.T, r *Relation) {
+	t.Helper()
+	if len(r.seen) != len(r.tuples) {
+		t.Fatalf("seen has %d keys, store has %d tuples", len(r.seen), len(r.tuples))
+	}
+	for i, tup := range r.tuples {
+		if pos, ok := r.seen[tup.Key()]; !ok || pos != i {
+			t.Fatalf("tuple %v at position %d recorded at %d (present=%v)", tup, i, pos, ok)
+		}
+	}
+	if r.indexes == nil || r.indexed != r.version {
+		return // stale or absent: nothing more to check
+	}
+	for col, idx := range r.indexes {
+		want := make(map[string][]int)
+		for i, tup := range r.tuples {
+			want[tup[col]] = append(want[tup[col]], i)
+		}
+		if len(idx) != len(want) {
+			t.Fatalf("col %d: index has %d values, want %d", col, len(idx), len(want))
+		}
+		for v, ps := range idx {
+			got := append([]int(nil), ps...)
+			sort.Ints(got)
+			if len(got) != len(want[v]) {
+				t.Fatalf("col %d value %q: postings %v, want %v", col, v, got, want[v])
+			}
+			for i := range got {
+				if got[i] != want[v][i] {
+					t.Fatalf("col %d value %q: postings %v, want %v", col, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveFrozenMaintainsIndexes(t *testing.T) {
+	r := NewRelation("r", 2)
+	rows := []Tuple{{"a", "1"}, {"b", "2"}, {"a", "3"}, {"c", "2"}, {"b", "1"}}
+	for _, tu := range rows {
+		r.Insert(tu)
+	}
+	r.BuildIndexes()
+	if !r.Frozen() {
+		t.Fatal("expected frozen after BuildIndexes")
+	}
+	if !r.Remove(Tuple{"b", "2"}) {
+		t.Fatal("Remove of present tuple reported absent")
+	}
+	if !r.Frozen() {
+		t.Fatal("relation should stay frozen across a maintained Remove")
+	}
+	if r.Contains(Tuple{"b", "2"}) {
+		t.Fatal("removed tuple still Contains")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	checkConsistent(t, r)
+	// The swapped-down tuple (the former tail) must still be probeable.
+	ps, ok := r.LookupPositions(0, "b")
+	if !ok || len(ps) != 1 || r.tuples[ps[0]].Key() != (Tuple{"b", "1"}).Key() {
+		t.Fatalf("probe for swapped tuple failed: ps=%v ok=%v", ps, ok)
+	}
+	// Removing the absent tuple again is a no-op.
+	if r.Remove(Tuple{"b", "2"}) {
+		t.Fatal("Remove of absent tuple reported present")
+	}
+	// Drain the relation entirely, checking invariants throughout.
+	for _, tu := range []Tuple{{"a", "1"}, {"b", "1"}, {"a", "3"}, {"c", "2"}} {
+		if !r.Remove(tu) {
+			t.Fatalf("Remove(%v) reported absent", tu)
+		}
+		checkConsistent(t, r)
+	}
+	if r.Len() != 0 || !r.Frozen() {
+		t.Fatalf("drained relation: Len=%d Frozen=%v", r.Len(), r.Frozen())
+	}
+}
+
+func TestRemovePartiallyIndexed(t *testing.T) {
+	r := NewRelation("r", 3)
+	for _, tu := range []Tuple{{"a", "x", "1"}, {"b", "y", "2"}, {"a", "y", "3"}} {
+		r.Insert(tu)
+	}
+	r.BuildColumnIndex(1) // only column 1 built
+	if !r.Remove(Tuple{"a", "x", "1"}) {
+		t.Fatal("Remove reported absent")
+	}
+	checkConsistent(t, r)
+	if _, ok := r.ColumnIndex(1); !ok {
+		t.Fatal("built column index should survive a maintained Remove")
+	}
+	ps, ok := r.LookupPositions(1, "y")
+	if !ok || len(ps) != 2 {
+		t.Fatalf("col-1 probe after Remove: ps=%v ok=%v", ps, ok)
+	}
+}
+
+func TestRemoveUnindexed(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.Insert(Tuple{"b", "2"})
+	if !r.Remove(Tuple{"a", "1"}) {
+		t.Fatal("Remove reported absent")
+	}
+	if r.Len() != 1 || r.Contains(Tuple{"a", "1"}) || !r.Contains(Tuple{"b", "2"}) {
+		t.Fatal("unindexed Remove left wrong contents")
+	}
+	checkConsistent(t, r)
+	// A later index build over the mutated store must be correct.
+	r.BuildIndexes()
+	checkConsistent(t, r)
+}
+
+func TestRemoveStaleIndexInvalidates(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{"a", "1"})
+	r.BuildIndexes()
+	// Make the index stale the same way a stale Insert does: index, then
+	// bump the version by an unmaintained mutation path. Here: remove then
+	// re-add after dropping freshness via a direct version change is not
+	// possible from outside, so emulate by building only after an insert.
+	r2 := NewRelation("s", 2)
+	r2.Insert(Tuple{"a", "1"})
+	r2.BuildIndexes()
+	r2.Insert(Tuple{"b", "2"}) // maintained: stays frozen
+	if !r2.Frozen() {
+		t.Fatal("maintained insert should keep relation frozen")
+	}
+	if !r2.Remove(Tuple{"a", "1"}) {
+		t.Fatal("Remove reported absent")
+	}
+	checkConsistent(t, r2)
+}
+
+func TestCheckedRemoveArity(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{"a", "1"})
+	if _, err := r.CheckedRemove(Tuple{"a"}); err == nil {
+		t.Fatal("CheckedRemove of wrong-width tuple should error")
+	}
+	ok, err := r.CheckedRemove(Tuple{"a", "1"})
+	if err != nil || !ok {
+		t.Fatalf("CheckedRemove = %v, %v", ok, err)
+	}
+}
+
+func TestTruncateToAfterRemove(t *testing.T) {
+	// After a swap-remove, posting lists are no longer position-sorted:
+	// TruncateTo must still repair them (the old tail-pop shortcut breaks).
+	r := NewRelation("r", 2)
+	for _, tu := range []Tuple{{"a", "1"}, {"b", "1"}, {"c", "1"}, {"d", "1"}} {
+		r.Insert(tu)
+	}
+	r.BuildIndexes()
+	r.Remove(Tuple{"a", "1"}) // d swaps into position 0
+	n := r.Len()
+	r.Insert(Tuple{"e", "1"})
+	r.Insert(Tuple{"f", "1"})
+	r.TruncateTo(n)
+	if r.Len() != n || r.Contains(Tuple{"e", "1"}) || r.Contains(Tuple{"f", "1"}) {
+		t.Fatal("TruncateTo after Remove left wrong contents")
+	}
+	if !r.Frozen() {
+		t.Fatal("TruncateTo over maintained indexes should keep them")
+	}
+	checkConsistent(t, r)
+}
+
+func TestPartitionedRemoveRoutesToOwner(t *testing.T) {
+	pr := NewPartitionedRelation("r", 2, 0, 4)
+	rows := []Tuple{{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"}}
+	for _, tu := range rows {
+		pr.Insert(tu)
+	}
+	pr.BuildIndexes()
+	if !pr.Remove(Tuple{"c", "3"}) {
+		t.Fatal("Remove reported absent")
+	}
+	if pr.Contains(Tuple{"c", "3"}) || pr.Len() != 4 {
+		t.Fatal("partitioned Remove left wrong contents")
+	}
+	if !pr.Frozen() {
+		t.Fatal("non-owner shards must stay frozen; owner maintains in place")
+	}
+	// Only the owner shard may have been touched.
+	owner := pr.Owner(Tuple{"c", "3"})
+	for i := 0; i < pr.NumShards(); i++ {
+		checkConsistent(t, pr.Shard(i))
+		if pr.Shard(i) != owner && pr.Shard(i).Contains(Tuple{"c", "3"}) {
+			t.Fatal("tuple survives in non-owner shard")
+		}
+	}
+	if pr.Remove(Tuple{"c", "3"}) {
+		t.Fatal("second Remove reported present")
+	}
+	if _, err := pr.CheckedRemove(Tuple{"x"}); err == nil {
+		t.Fatal("CheckedRemove of wrong-width tuple should error")
+	}
+}
+
+func TestDatabaseRemove(t *testing.T) {
+	db := NewDatabase()
+	db.Insert("r", Tuple{"a", "1"})
+	if db.Remove("missing", Tuple{"a"}) {
+		t.Fatal("Remove from missing relation reported present")
+	}
+	if db.Remove("r", Tuple{"a"}) {
+		t.Fatal("Remove with wrong arity reported present")
+	}
+	if !db.Remove("r", Tuple{"a", "1"}) {
+		t.Fatal("Remove of present tuple reported absent")
+	}
+	if db.Relation("r").Len() != 0 {
+		t.Fatal("tuple survives Remove")
+	}
+}

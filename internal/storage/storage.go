@@ -71,12 +71,13 @@ func (t Tuple) Compare(o Tuple) int {
 func (t Tuple) Less(o Tuple) bool { return t.Compare(o) < 0 }
 
 // Relation is a named set of tuples of a fixed arity. Insertion order is
-// preserved for deterministic iteration; duplicates are ignored.
+// preserved for deterministic iteration until the first Remove, which
+// swap-fills the vacated position; duplicates are ignored.
 type Relation struct {
 	name   string
 	arity  int
 	tuples []Tuple
-	seen   map[string]bool
+	seen   map[string]int // key -> position in tuples
 
 	indexes map[int]map[string][]int // column -> value -> tuple positions
 	version int                      // bumped on insert; invalidates indexes
@@ -85,7 +86,7 @@ type Relation struct {
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{name: name, arity: arity, seen: make(map[string]bool)}
+	return &Relation{name: name, arity: arity, seen: make(map[string]int)}
 }
 
 // Name returns the relation name.
@@ -112,12 +113,12 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("storage: relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
 	}
 	k := t.Key()
-	if r.seen[k] {
+	if _, dup := r.seen[k]; dup {
 		return false
 	}
-	r.seen[k] = true
 	maintained := r.indexes != nil && r.indexed == r.version
 	pos := len(r.tuples)
+	r.seen[k] = pos
 	r.tuples = append(r.tuples, t.Clone())
 	r.version++
 	if maintained {
@@ -140,14 +141,103 @@ func (r *Relation) CheckedInsert(t Tuple) (bool, error) {
 	return r.Insert(t), nil
 }
 
+// Remove deletes a tuple, reporting whether it was present. Like Insert it
+// panics on an arity mismatch — callers validate arity at the Database
+// boundary.
+//
+// The vacated position is filled by swapping the last tuple down, so a
+// removal is O(1) in the tuple store. When the column indexes are current
+// they are maintained incrementally in O(arity) amortized, the same way
+// Insert appends: the removed position is deleted from each built posting
+// list and the swapped tuple's entries are repointed, so the relation stays
+// Frozen across removals. Over stale indexes the version bump invalidates
+// them as usual. Single-writer, like every mutation.
+func (r *Relation) Remove(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: relation %s/%d: removing tuple of width %d", r.name, r.arity, len(t)))
+	}
+	k := t.Key()
+	pos, ok := r.seen[k]
+	if !ok {
+		return false
+	}
+	maintained := r.indexes != nil && r.indexed == r.version
+	last := len(r.tuples) - 1
+	if maintained {
+		for col, idx := range r.indexes {
+			removePosting(idx, r.tuples[pos][col], pos)
+		}
+	}
+	if pos != last {
+		moved := r.tuples[last]
+		if maintained {
+			for col, idx := range r.indexes {
+				repointPosting(idx, moved[col], last, pos)
+			}
+		}
+		r.tuples[pos] = moved
+		r.seen[moved.Key()] = pos
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	delete(r.seen, k)
+	r.version++
+	if maintained {
+		r.indexed = r.version
+	}
+	return true
+}
+
+// CheckedRemove is Remove returning a typed *ArityError instead of
+// panicking on a width mismatch — the serving-boundary variant for tuples
+// arriving from outside the process.
+func (r *Relation) CheckedRemove(t Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, &ArityError{Pred: r.name, Want: r.arity, Got: len(t)}
+	}
+	return r.Remove(t), nil
+}
+
+// removePosting deletes position pos from the posting list of val,
+// searching by value (posting lists lose their sorted-by-position shape
+// after the first swap-remove, so tail-popping is not an option).
+func removePosting(idx map[string][]int, val string, pos int) {
+	ps := idx[val]
+	for i, p := range ps {
+		if p == pos {
+			ps[i] = ps[len(ps)-1]
+			ps = ps[:len(ps)-1]
+			if len(ps) == 0 {
+				delete(idx, val)
+			} else {
+				idx[val] = ps
+			}
+			return
+		}
+	}
+}
+
+// repointPosting rewrites one occurrence of position from to position to in
+// the posting list of val — the index half of a swap-fill.
+func repointPosting(idx map[string][]int, val string, from, to int) {
+	ps := idx[val]
+	for i, p := range ps {
+		if p == from {
+			ps[i] = to
+			return
+		}
+	}
+}
+
 // TruncateTo discards every tuple from position n onward, restoring the
 // relation to the state it had when Len() was n — the rollback primitive
-// for atomic batch application. Dedup keys of the removed tuples are
-// forgotten, and maintained column indexes are repaired in place by
-// popping the removed positions off the affected posting lists (positions
-// are appended in insertion order, so entries >= n sit at each list's
-// tail); stale indexes are simply discarded. It carries the same
-// single-writer requirement as Insert.
+// for atomic insert-only batch application (batches containing removals
+// roll back through an operation journal instead, because removals
+// swap-fill positions and a length snapshot no longer identifies them).
+// Dedup keys of the removed tuples are forgotten, and maintained column
+// indexes are repaired in place by deleting the removed positions from the
+// affected posting lists; stale indexes are simply discarded. It carries
+// the same single-writer requirement as Insert.
 func (r *Relation) TruncateTo(n int) {
 	if n < 0 {
 		n = 0
@@ -157,16 +247,11 @@ func (r *Relation) TruncateTo(n int) {
 	}
 	removed := r.tuples[n:]
 	maintained := r.indexes != nil && r.indexed == r.version
-	for _, t := range removed {
+	for off, t := range removed {
 		delete(r.seen, t.Key())
 		if maintained {
 			for col, idx := range r.indexes {
-				v := t[col]
-				if ps := idx[v]; len(ps) > 1 {
-					idx[v] = ps[:len(ps)-1]
-				} else {
-					delete(idx, v)
-				}
+				removePosting(idx, t[col], n+off)
 			}
 		}
 	}
@@ -178,12 +263,18 @@ func (r *Relation) TruncateTo(n int) {
 }
 
 // Contains reports whether the relation holds the tuple.
-func (r *Relation) Contains(t Tuple) bool { return r.seen[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[t.Key()]
+	return ok
+}
 
 // ContainsKey reports whether the relation holds a tuple with the given
 // canonical key (Tuple.Key). Hot loops that already computed the key for
 // their own dedup avoid re-encoding the tuple.
-func (r *Relation) ContainsKey(k string) bool { return r.seen[k] }
+func (r *Relation) ContainsKey(k string) bool {
+	_, ok := r.seen[k]
+	return ok
+}
 
 // Tuples returns the tuples in insertion order. The slice is shared; do not
 // modify.
@@ -320,6 +411,17 @@ func (db *Database) Insert(pred string, t Tuple) error {
 	}
 	r.Insert(t)
 	return nil
+}
+
+// Remove deletes a tuple under pred, reporting whether it was present. A
+// missing relation or an arity mismatch both report false — removal of
+// what is not there.
+func (db *Database) Remove(pred string, t Tuple) bool {
+	r, ok := db.rels[pred]
+	if !ok || len(t) != r.arity {
+		return false
+	}
+	return r.Remove(t)
 }
 
 // InsertFact adds a ground atom as a tuple.
