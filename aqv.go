@@ -358,6 +358,10 @@ var (
 	// ErrArityMismatch reports a caller-supplied arity error at the serving
 	// boundary (wrong Exec argument count, parameterized plan in Eval).
 	ErrArityMismatch = engine.ErrArityMismatch
+	// ErrEngineDurability reports a write-ahead-log failure on a durable
+	// engine (EngineOptions.DataDir): the failed batch was not published,
+	// further mutations are refused fail-stop, reads keep serving.
+	ErrEngineDurability = engine.ErrDurability
 )
 
 // Certain answers (see internal/certain).

@@ -5,14 +5,20 @@
 //
 //	aqv -query query.dl -views views.dl [-algo equivalent|bucket|minicon|inverse|auto]
 //	    [-data facts.dl] [-all] [-partial] [-stats]
-//	aqv -queries stream.dl -views views.dl [-data facts.dl] [-algo ...]
+//	aqv -queries stream.dl -views views.dl [-data facts.dl] [-datadir DIR] [-algo ...]
 //	    [-cache N] [-prepare] [-stats] [-timeout D] [-max-derived N] [-max-concurrent N]
-//	aqv -stream mixed.dl -views views.dl [-data facts.dl] [-algo ...] [-stats]
+//	aqv -stream mixed.dl -views views.dl [-data facts.dl] [-datadir DIR] [-algo ...] [-stats]
 //	    [-timeout D] [-max-derived N] [-max-concurrent N]
 //
 // The query file holds one rule; the views file holds one rule per view.
 // The optional data file holds ground facts for the *base* relations; view
 // extents are materialised from it before evaluation.
+//
+// -datadir (batch and stream modes) makes the engine durable: state
+// persists as a checksummed snapshot plus write-ahead log under DIR, a
+// restart recovers from disk instead of re-materializing, and exit
+// checkpoints. The flag is named -datadir because -data already names the
+// base-facts file.
 //
 // -algo auto plans through the serving engine's cost-driven strategy: per
 // query it searches for the cheapest equivalent rewriting and otherwise
@@ -78,6 +84,7 @@ func run(args []string, out *os.File) error {
 	streamPath := fs.String("stream", "", "live mode: file interleaving ground facts (inserts), \"-\"-prefixed facts (deletes) and query rules ('-' = stdin), served by one live engine that incrementally maintains the view extents")
 	viewsPath := fs.String("views", "", "file containing view definitions")
 	dataPath := fs.String("data", "", "optional file of ground base facts; evaluates the rewriting")
+	dataDir := fs.String("datadir", "", "batch/stream mode: durable storage directory (snapshot + WAL); the engine recovers from it at startup and checkpoints on exit (-data names the facts file, hence the separate flag)")
 	algo := fs.String("algo", "equivalent", "algorithm: equivalent, bucket, minicon, inverse, auto (cost-driven per query)")
 	all := fs.Bool("all", false, "enumerate all equivalent rewritings (equivalent only)")
 	partial := fs.Bool("partial", false, "allow partial rewritings mixing views and base atoms")
@@ -131,10 +138,13 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	if *queriesPath != "" {
-		return runBatch(out, *queriesPath, views, base, *algo, *cacheSize, *workers, *shards, gov, *partial, *prepare, *stats)
+		return runBatch(out, *queriesPath, views, base, *algo, *dataDir, *cacheSize, *workers, *shards, gov, *partial, *prepare, *stats)
 	}
 	if *streamPath != "" {
-		return runStream(out, *streamPath, views, base, *algo, *cacheSize, *workers, *shards, gov, *partial, *stats)
+		return runStream(out, *streamPath, views, base, *algo, *dataDir, *cacheSize, *workers, *shards, gov, *partial, *stats)
+	}
+	if *dataDir != "" {
+		return fmt.Errorf("-datadir applies to -queries and -stream modes only")
 	}
 
 	q, err := loadQuery(*queryPath)
@@ -355,7 +365,7 @@ func printGovStats(out *os.File, g govOpts, st aqv.EngineStats) {
 // preparing each query against the template cache and executing it under
 // its own constants. Without -data only the plans are printed; with -data
 // each query's answers follow its plan.
-func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, gov govOpts, partial, prepare, stats bool) error {
+func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo, dataDir string, cacheSize, workers, shards int, gov govOpts, partial, prepare, stats bool) error {
 	queries, err := loadQueries(path)
 	if err != nil {
 		return err
@@ -364,7 +374,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 	if err != nil {
 		return err
 	}
-	hasData := base != nil
+	hasData := base != nil || dataDir != ""
 	if base == nil {
 		base = aqv.NewDatabase()
 	}
@@ -377,10 +387,13 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 		Shards:          shards,
 		Budget:          gov.budget(),
 		MaxConcurrent:   gov.maxConcurrent,
+		DataDir:         dataDir,
+		Logf:            func(format string, a ...any) { fmt.Fprintf(out, "%% "+format+"\n", a...) },
 	})
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	for i, q := range queries {
 		pq, err := eng.Prepare(q)
 		if err != nil {
@@ -427,7 +440,7 @@ func runBatch(out *os.File, path string, views []*aqv.Query, base *aqv.Database,
 // applies the batch atomically (deletions first, every extent maintained
 // incrementally) and then answers over the updated snapshot. One statement
 // per line; trailing facts are applied at end of stream.
-func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo string, cacheSize, workers, shards int, gov govOpts, partial, stats bool) error {
+func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database, algo, dataDir string, cacheSize, workers, shards int, gov govOpts, partial, stats bool) error {
 	strategy, err := aqv.ParseStrategy(algo)
 	if err != nil {
 		return err
@@ -445,10 +458,13 @@ func runStream(out *os.File, path string, views []*aqv.Query, base *aqv.Database
 		LiveUpdates:     true,
 		Budget:          gov.budget(),
 		MaxConcurrent:   gov.maxConcurrent,
+		DataDir:         dataDir,
+		Logf:            func(format string, a ...any) { fmt.Fprintf(out, "%% "+format+"\n", a...) },
 	})
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	var data []byte
 	if path == "-" {
 		data, err = io.ReadAll(os.Stdin)

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDurabilityBenchSmoke runs the durability section alone (gated: it is
+// a benchmark, not a test).
+func TestDurabilityBenchSmoke(t *testing.T) {
+	if os.Getenv("DURBENCH") != "1" {
+		t.Skip("set DURBENCH=1 to run the durability benchmark standalone")
+	}
+	var report EvalBenchReport
+	if err := runDurabilityBench(&report); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package main
+
+// Durability benchmark: what the snapshot + WAL subsystem buys at boot.
+// For each scale it measures (a) the cost of writing a checkpoint, (b) the
+// cost of a cold start from that checkpoint — segment decode, index build,
+// serving-side clones — against full re-materialization of the same state
+// from base facts, and (c) WAL replay throughput when the engine died
+// without a shutdown checkpoint.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// DurabilityBenchResult is one scale's measurements.
+type DurabilityBenchResult struct {
+	Name string `json:"name"`
+	// BaseTuples is the base-fact count; ExtentTuples the materialized view
+	// tuples the snapshot carries on top of it.
+	BaseTuples   int `json:"base_tuples"`
+	ExtentTuples int `json:"extent_tuples"`
+	// SnapshotWriteNs is the cost of one checkpoint of the full state;
+	// SnapshotBytes its on-disk size.
+	SnapshotWriteNs float64 `json:"snapshot_write_ns"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	// ColdStartNs boots a serving engine from the snapshot alone (no WAL);
+	// RematerializeNs builds the identical engine from base facts, paying
+	// the view-materialization fixpoint. SpeedupVsRematerialize is their
+	// ratio — the dividend durability pays at every restart.
+	ColdStartNs            float64 `json:"cold_start_ns"`
+	RematerializeNs        float64 `json:"rematerialize_ns"`
+	SpeedupVsRematerialize float64 `json:"speedup_vs_rematerialize"`
+	// WALReplayBatches batches were recovered through the maintainer in
+	// WALReplayNs when the engine restarted after dying checkpoint-less;
+	// WALReplayBatchesPerSec is the recovery throughput, and
+	// ColdStartReplayNs the total boot time of that crash restart
+	// (snapshot load + replay).
+	WALReplayBatches       int     `json:"wal_replay_batches"`
+	WALReplayNs            float64 `json:"wal_replay_ns"`
+	WALReplayBatchesPerSec float64 `json:"wal_replay_batches_per_sec"`
+	ColdStartReplayNs      float64 `json:"cold_start_replay_ns"`
+}
+
+// durabilityWorkload builds the serving-shaped base: a fan-in aggregation
+// join — small head domains, moderate join-key domain — so each extent
+// tuple has many derivations (n/cdom per join key). That is the state
+// worth persisting: materializing it walks every derivation, loading it
+// from a snapshot pays one decode per distinct tuple. Tuples are distinct
+// by construction (injective index→pair enumeration; requires
+// hdom*cdom >= scale/2), so the base holds exactly `scale` facts.
+func durabilityWorkload(scale, hdom, cdom int) (*storage.Database, []*cq.Query) {
+	db := storage.NewDatabase()
+	n := scale / 2
+	for i := 0; i < n; i++ {
+		db.Insert("p1", storage.Tuple{"a" + fmt.Sprint(i%hdom), "c" + fmt.Sprint(i/hdom)})
+		db.Insert("p2", storage.Tuple{"c" + fmt.Sprint(i%cdom), "b" + fmt.Sprint(i/cdom)})
+	}
+	views := []*cq.Query{
+		cq.MustParseQuery("v1(A,B) :- p1(A,C), p2(C,B)"),
+	}
+	return db, views
+}
+
+func runDurabilityBench(report *EvalBenchReport) error {
+	const reps = 3
+	for _, scale := range []struct {
+		name       string
+		base       int
+		hdom, cdom int
+		rematReps  int
+	}{
+		// Re-materialization at 400k walks ~8M derivations per rep — one
+		// rep keeps the bench runnable; its runtime dwarfs the variance.
+		{"serve_60k", 60000, 150, 250, 3},
+		{"serve_400k", 400000, 400, 5000, 1},
+	} {
+		rng := rand.New(rand.NewSource(101))
+		base, views := durabilityWorkload(scale.base, scale.hdom, scale.cdom)
+		dir, err := os.MkdirTemp("", "aqvbench-durable")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		durOpt := engine.Options{
+			LiveUpdates:      true,
+			DataDir:          dir,
+			WALNoSync:        true,
+			SnapshotWALBytes: -1, // checkpoints only where the harness asks
+		}
+
+		// Fresh durable boot: materializes the views once and writes the
+		// boot checkpoint.
+		e, err := engine.NewFromBase(base.Clone(), views, durOpt)
+		if err != nil {
+			return err
+		}
+		res := DurabilityBenchResult{Name: scale.name, BaseTuples: base.TotalTuples()}
+		res.ExtentTuples = e.Database().TotalTuples() - res.BaseTuples
+
+		// WAL: stream update batches, then die without a checkpoint.
+		const replayBatches = 100
+		const batchTuples = 20
+		var walTuples []storage.Tuple
+		for b := 0; b < replayBatches; b++ {
+			ins := make([]storage.Tuple, batchTuples)
+			for i := range ins {
+				// Fresh head values: every tuple is novel, so each batch has
+				// effect and is logged (a no-op batch writes no WAL record).
+				ins[i] = storage.Tuple{"n" + fmt.Sprint(b*batchTuples+i), "c" + fmt.Sprint(rng.Intn(scale.cdom))}
+			}
+			walTuples = append(walTuples, ins...)
+			if err := e.ApplyUpdate(map[string][]storage.Tuple{"p1": ins}, nil); err != nil {
+				return err
+			}
+		}
+		// Crash: e is dropped, the batches live only in the WAL.
+
+		// Cold start + WAL replay, best of reps (the WAL stays dirty since
+		// nothing checkpoints).
+		var replayStats engine.DurableStats
+		coldReplayNs, _, err := minNs(reps, func(int) error {
+			re, err := engine.NewFromBase(nil, views, durOpt)
+			if err != nil {
+				return err
+			}
+			replayStats = re.Stats().Durable
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if replayStats.RecoveredBatches != replayBatches {
+			return fmt.Errorf("%s: replay recovered %d batches, want %d", scale.name, replayStats.RecoveredBatches, replayBatches)
+		}
+		res.ColdStartReplayNs = coldReplayNs
+		res.WALReplayBatches = replayStats.RecoveredBatches
+		res.WALReplayNs = float64(replayStats.ReplayTime.Nanoseconds())
+		if replayStats.ReplayTime > 0 {
+			res.WALReplayBatchesPerSec = float64(replayBatches) / replayStats.ReplayTime.Seconds()
+		}
+
+		// Checkpoint the recovered state: snapshot write cost and size.
+		re, err := engine.NewFromBase(nil, views, durOpt)
+		if err != nil {
+			return err
+		}
+		ckStart := time.Now()
+		if err := re.Checkpoint(); err != nil {
+			return err
+		}
+		res.SnapshotWriteNs = float64(time.Since(ckStart).Nanoseconds())
+		res.SnapshotBytes = re.Stats().Durable.SnapshotBytes
+		if err := re.Close(); err != nil {
+			return err
+		}
+
+		// Pure cold start from the snapshot (no WAL) vs re-materializing
+		// the identical state from base facts.
+		res.ColdStartNs, _, err = minNs(reps, func(int) error {
+			ce, err := engine.NewFromBase(nil, views, durOpt)
+			if err != nil {
+				return err
+			}
+			if st := ce.Stats().Durable; st.RecoveredBatches != 0 || st.StaleRebuild {
+				return fmt.Errorf("%s: cold start not from snapshot alone: %+v", scale.name, st)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		full := base.Clone()
+		for _, t := range walTuples {
+			if err := full.Insert("p1", t); err != nil {
+				return err
+			}
+		}
+		res.RematerializeNs, _, err = minNs(scale.rematReps, func(int) error {
+			_, err := engine.NewFromBase(full.Clone(), views, engine.Options{LiveUpdates: true})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		res.SpeedupVsRematerialize = res.RematerializeNs / res.ColdStartNs
+
+		fmt.Printf("%-12s base=%-7d extents=%-7d snap=%.0fms/%.1fMB cold=%.0fms remat=%.0fms (%.1fx) replay=%.0f batches/s\n",
+			res.Name, res.BaseTuples, res.ExtentTuples,
+			res.SnapshotWriteNs/1e6, float64(res.SnapshotBytes)/(1<<20),
+			res.ColdStartNs/1e6, res.RematerializeNs/1e6, res.SpeedupVsRematerialize,
+			res.WALReplayBatchesPerSec)
+		report.Durability = append(report.Durability, res)
+		os.RemoveAll(dir)
+	}
+	return nil
+}

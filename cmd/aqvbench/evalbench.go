@@ -194,6 +194,10 @@ type EvalBenchReport struct {
 	// (-governance): legacy evaluation against the same evaluation with a
 	// live cancellation guard (cancelable context, amortized polling).
 	Governance []GovernanceBenchResult `json:"governance,omitempty"`
+	// Durability measures the snapshot + WAL subsystem: cold start from a
+	// checkpoint against full re-materialization, snapshot write cost, and
+	// WAL replay throughput after an uncheckpointed crash.
+	Durability []DurabilityBenchResult `json:"durability,omitempty"`
 }
 
 // GovernanceBenchResult is one workload's cancellation-guard overhead
@@ -357,6 +361,7 @@ func runEvalBench(path string) error {
 	report.Programs = nil
 	report.IVM = nil
 	report.Prepared = nil
+	report.Durability = nil
 	for _, w := range evalWorkloads() {
 		w.db.BuildIndexes()
 		cat := cost.NewCatalog(w.db)
@@ -474,6 +479,9 @@ func runEvalBench(path string) error {
 		return err
 	}
 	if err := runPreparedBench(&report); err != nil {
+		return err
+	}
+	if err := runDurabilityBench(&report); err != nil {
 		return err
 	}
 

@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	aqvd -config DIR [-listen ADDR] [-drain-timeout D]
-//	aqvd -views views.dl [-base facts.dl] [-strategy S] [-live]
+//	aqvd -config DIR [-data DIR] [-listen ADDR] [-drain-timeout D]
+//	aqvd -views views.dl [-base facts.dl] [-data DIR] [-strategy S] [-live]
 //	     [-max-concurrent N] [-max-queue N] [-listen ADDR]
 //
 // With -config, every subdirectory of DIR holding a views.dl becomes a
 // namespace named after the subdirectory (optional base.dl for ground
 // facts, optional config.json for engine and session options). With
 // -views, a single "default" namespace is built inline from flags.
+//
+// With -data, every namespace persists its state (checksummed snapshot +
+// write-ahead log) under DIR/<name>: acknowledged batches survive crashes,
+// a restart recovers from disk instead of re-materializing the views, and
+// a graceful shutdown checkpoints so the next boot replays no log.
 //
 // Endpoints: POST /v1/prepare, /v1/exec, /v1/query, /v1/batch;
 // GET /v1/stats, /healthz — all also under /v1/ns/{name}/... for explicit
@@ -36,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -66,16 +72,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	live := fs.Bool("live", false, "inline mode: enable live mixed insert/delete batches (/v1/batch)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "inline mode: admission-control concurrency cap (0 = unlimited)")
 	maxQueue := fs.Int("max-queue", 0, "inline mode: admission queue depth (0 = 4x cap, negative = no queue)")
+	dataDir := fs.String("data", "", "durable storage root: each namespace persists (snapshot + WAL) under DIR/<name> and recovers from it at startup")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	reg, err := buildRegistry(*configDir, *viewsPath, *basePath, server.Config{
+	logf := func(format string, a ...any) { fmt.Fprintf(out, "aqvd: "+format+"\n", a...) }
+	reg, err := buildRegistry(*configDir, *viewsPath, *basePath, *dataDir, server.Config{
 		Strategy:      *strategy,
 		LiveUpdates:   *live,
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
+		Logf:          logf,
 	})
 	if err != nil {
 		return err
@@ -116,20 +125,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Durable namespaces checkpoint on close, so the next boot comes
+	// entirely from the snapshot with no WAL to replay.
+	if err := reg.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
 	fmt.Fprintln(out, "aqvd: stopped")
 	return nil
 }
 
 // buildRegistry resolves the two configuration modes: a config directory of
-// namespaces, or a single inline namespace from flags.
-func buildRegistry(configDir, viewsPath, basePath string, cfg server.Config) (*server.Registry, error) {
+// namespaces, or a single inline namespace from flags. A non-empty dataDir
+// roots durable storage per namespace (DIR/<name>).
+func buildRegistry(configDir, viewsPath, basePath, dataDir string, cfg server.Config) (*server.Registry, error) {
 	switch {
 	case configDir != "" && viewsPath != "":
 		return nil, errors.New("-config and -views are mutually exclusive")
 	case configDir != "":
-		return server.LoadDir(configDir)
+		return server.LoadDirWith(configDir, server.DirOptions{DataRoot: dataDir, Logf: cfg.Logf})
 	case viewsPath == "":
 		return nil, errors.New("one of -config or -views is required")
+	}
+	if dataDir != "" {
+		cfg.DataDir = filepath.Join(dataDir, server.DefaultNamespace)
 	}
 
 	viewsSrc, err := os.ReadFile(viewsPath)

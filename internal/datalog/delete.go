@@ -3,6 +3,7 @@ package datalog
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/cq"
@@ -100,6 +101,51 @@ func (cp *CompiledProgram) NewMaintState(base *storage.Database) *MaintState {
 // CountsReady reports whether the flat-program derivation counts have been
 // built (they are built lazily, on the first deletion).
 func (st *MaintState) CountsReady() bool { return st != nil && st.ready }
+
+// BaselineKeys exports the deletion baseline for persistence: per derived
+// predicate, the keys (Tuple.Key form) of facts that pre-existed as base
+// facts when the program was materialized. The derivation counts are
+// deliberately not exported — they are a cache rebuilt lazily from the
+// database on the first deletion, so a state restored from these keys is
+// exactly as capable as the original.
+func (st *MaintState) BaselineKeys() map[string][]string {
+	if st == nil || st.baseline == nil {
+		return nil
+	}
+	out := make(map[string][]string, len(st.baseline))
+	for pred, keys := range st.baseline {
+		ks := make([]string, 0, len(keys))
+		for k := range keys {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		out[pred] = ks
+	}
+	return out
+}
+
+// RestoreMaintState rebuilds the deletion state a NewMaintState call
+// captured, from keys previously exported by BaselineKeys — the recovery
+// path, where the pre-materialization base database no longer exists but
+// its view-named facts were persisted. Keys naming predicates the program
+// does not derive are dropped.
+func (cp *CompiledProgram) RestoreMaintState(keys map[string][]string) *MaintState {
+	st := &MaintState{}
+	for pred, ks := range keys {
+		if _, ok := cp.idbArity[pred]; !ok || len(ks) == 0 {
+			continue
+		}
+		m := make(map[string]bool, len(ks))
+		for _, k := range ks {
+			m[k] = true
+		}
+		if st.baseline == nil {
+			st.baseline = make(map[string]map[string]bool)
+		}
+		st.baseline[pred] = m
+	}
+	return st
+}
 
 func (st *MaintState) isBaseline(pred, key string) bool {
 	if st == nil || st.baseline == nil {

@@ -1,0 +1,66 @@
+// Package atomicfile writes files that are either fully present with
+// their final contents or absent — never half-written. WriteFile stages
+// the data in a temporary file in the destination directory, fsyncs it,
+// renames it over the target (atomic on POSIX filesystems because source
+// and destination share a directory), and fsyncs the directory so the
+// rename itself survives a crash. It is the single write primitive under
+// every durable-storage control file (snapshot manifests, the CURRENT
+// pointer) so a crash at any instant leaves either the old file or the
+// new one.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory (rename across filesystems is not atomic),
+// synced, renamed into place, and the directory entry is synced too. On
+// any error the temporary file is removed and the target is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a preceding create, rename or remove of an
+// entry inside it is durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "CURRENT")
+	if err := WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("read %q, want %q", got, "two")
+	}
+	// No temp files may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") || strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}

@@ -180,6 +180,35 @@ type Options struct {
 	// being shed with ErrOverloaded. 0 means wait until the request's own
 	// context fires.
 	QueueTimeout time.Duration
+	// DataDir enables durable storage (NewFromBase only): the directory
+	// holds a checksummed snapshot of the materialized state plus an
+	// append-only WAL of update batches. Construction opens it — a valid
+	// snapshot whose view fingerprint matches is loaded and the WAL
+	// replayed instead of re-materializing; a fingerprint mismatch falls
+	// back to re-materializing from the recovered base facts (and warns
+	// via Logf). Once a snapshot exists, the durable state is the source
+	// of truth: the base argument is only used when the directory is
+	// empty. Every applied batch is logged and fsynced before it is
+	// published to readers; call Close on shutdown to checkpoint and
+	// release the store.
+	DataDir string
+	// SnapshotWALBytes is the WAL size that triggers a background
+	// checkpoint truncating the log. 0 means 64 MiB; negative disables
+	// background checkpoints (the log then grows until Close or an
+	// explicit Checkpoint).
+	SnapshotWALBytes int64
+	// WALNoSync skips the per-batch fsync: batches survive a process
+	// crash but not a host crash. For tests and bulk loads.
+	WALNoSync bool
+	// Logf receives durability warnings (stale-snapshot rebuilds,
+	// background checkpoint failures, fail-stop transitions). nil
+	// discards them.
+	Logf func(format string, args ...any)
+
+	// snapCatalog carries planning statistics recovered from a snapshot
+	// manifest; set only by the durable boot path so construction can skip
+	// the catalog scan over the loaded database.
+	snapCatalog *cost.Catalog
 }
 
 // PlanKind discriminates what a cached plan holds.
@@ -330,6 +359,10 @@ type Stats struct {
 	// Panics counts evaluation panics the engine boundary converted into
 	// ErrInternal.
 	Panics uint64
+	// Durable reports the durable-storage position, write work and
+	// recovery outcome (zero with Enabled=false when Options.DataDir is
+	// unset).
+	Durable DurableStats
 	// PerStrategy breaks down planning work by strategy.
 	PerStrategy map[Strategy]StrategyStats
 }
@@ -363,6 +396,8 @@ type Engine struct {
 	constViews bool
 	// live is the update path (nil without Options.LiveUpdates).
 	live *liveState
+	// dur is the durable-storage state (nil without Options.DataDir).
+	dur *durableState
 	// admit gates request execution (nil without Options.MaxConcurrent).
 	admit *admitter
 
@@ -457,13 +492,17 @@ func New(vs *core.ViewSet, db *storage.Database, opt Options) (*Engine, error) {
 		db = storage.NewDatabase()
 	}
 	db.BuildIndexes()
+	catalog := opt.snapCatalog
+	if catalog == nil {
+		catalog = cost.NewCatalog(db)
+	}
 	e := &Engine{
 		views:       vs,
 		viewDefs:    vs.Views(),
 		db:          db,
 		opt:         opt,
 		memo:        containment.NewMemo(),
-		catalog:     cost.NewCatalog(db),
+		catalog:     catalog,
 		constViews:  viewsHaveConstants(vs.Views()),
 		cache:       newLRU(opt.CacheSize),
 		inflight:    make(map[string]*flight),
@@ -501,6 +540,9 @@ func NewFromBase(base *storage.Database, views []*cq.Query, opt Options) (*Engin
 	if err != nil {
 		return nil, err
 	}
+	if opt.DataDir != "" {
+		return newDurable(vs, base, views, opt)
+	}
 	if opt.LiveUpdates {
 		return newLive(vs, base, views, opt)
 	}
@@ -525,28 +567,52 @@ func NewFromBase(base *storage.Database, views []*cq.Query, opt Options) (*Engin
 // two serving copies of its database (left-right), all materialised from
 // base exactly once.
 func newLive(vs *core.ViewSet, base *storage.Database, views []*cq.Query, opt Options) (*Engine, error) {
-	workers := opt.EvalWorkers
-	if workers <= 0 {
-		workers = 1
-	}
-	m, err := ivm.New(base, views, ivm.Options{Workers: workers, Shards: opt.Shards})
+	m, err := ivm.New(base, views, ivm.Options{Workers: evalWorkers(opt), Shards: opt.Shards})
 	if err != nil {
 		return nil, err
 	}
+	return newLiveFromMaintainer(vs, m, views, opt)
+}
+
+// evalWorkers normalizes Options.EvalWorkers for the maintainer.
+func evalWorkers(opt Options) int {
+	if opt.EvalWorkers <= 0 {
+		return 1
+	}
+	return opt.EvalWorkers
+}
+
+// extentsOnly copies just the view extents out of a maintainer's database
+// — the serving layout under InverseRules, which reconstructs the base
+// from the extents and must not read base facts directly.
+func extentsOnly(m *ivm.Maintainer, views []*cq.Query) (*storage.Database, error) {
+	db := storage.NewDatabase()
+	for _, v := range views {
+		src := m.Database().Relation(v.Name())
+		rel, err := db.Ensure(v.Name(), src.Arity())
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range src.Tuples() {
+			rel.Insert(t)
+		}
+	}
+	return db, nil
+}
+
+// newLiveFromMaintainer finishes live-engine construction around an
+// existing maintainer (freshly materialized, or recovered from a durable
+// snapshot): the left-right serving pair is cloned from its database and
+// the partitioned twins are built.
+func newLiveFromMaintainer(vs *core.ViewSet, m *ivm.Maintainer, views []*cq.Query, opt Options) (*Engine, error) {
 	var side0 *storage.Database
+	var err error
 	if opt.Strategy == InverseRules {
 		// Inverse rules reconstruct the base from the extents; serving the
 		// base relations too would answer more than the views expose.
-		side0 = storage.NewDatabase()
-		for _, v := range views {
-			src := m.Database().Relation(v.Name())
-			rel, err := side0.Ensure(v.Name(), src.Arity())
-			if err != nil {
-				return nil, err
-			}
-			for _, t := range src.Tuples() {
-				rel.Insert(t)
-			}
+		side0, err = extentsOnly(m, views)
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		side0 = m.Database().Clone()
@@ -1013,6 +1079,9 @@ func (e *Engine) Stats() Stats {
 		Admission:          e.admit.snapshot(),
 		Panics:             e.panics.Load(),
 		PerStrategy:        make(map[Strategy]StrategyStats, len(e.perStrategy)),
+	}
+	if e.dur != nil {
+		st.Durable = e.dur.stats()
 	}
 	for s, agg := range e.perStrategy {
 		st.PerStrategy[s] = *agg

@@ -61,6 +61,12 @@ var ErrInternal = errors.New("engine: internal error")
 // or a parameterized plan passed to Eval. Match with errors.Is.
 var ErrArityMismatch = errors.New("engine: arity mismatch")
 
+// ErrDurability reports a durable-storage write failure. The store is
+// fail-stop: once a WAL append fails, every later mutation returns this
+// error while reads keep serving — the on-disk state stays a consistent
+// prefix of the acknowledged history. Match with errors.Is.
+var ErrDurability = errors.New("engine: durable storage failure")
+
 // OverloadedError is the concrete shed error: errors.Is(err, ErrOverloaded)
 // matches it, and RetryAfter hints when capacity is likely to free up
 // (current queue length times the engine's average execution time).
@@ -379,6 +385,9 @@ const (
 	// CodeNotLive: a mutation on an engine built without
 	// Options.LiveUpdates (ErrNotLive).
 	CodeNotLive = "not_live"
+	// CodeDurability: a durable-storage write failed and the engine is
+	// fail-stopped for mutations (ErrDurability).
+	CodeDurability = "durability"
 )
 
 // ErrorCode maps a typed engine error to its stable machine-readable code,
@@ -403,6 +412,8 @@ func ErrorCode(err error) string {
 		return CodeArityMismatch
 	case errors.Is(err, ErrNotLive):
 		return CodeNotLive
+	case errors.Is(err, ErrDurability):
+		return CodeDurability
 	case errors.Is(err, ErrInternal):
 		return CodeInternal
 	default:
@@ -536,17 +547,39 @@ func (e *Engine) ApplyUpdateBudget(ctx context.Context, inserts, deletes map[str
 	l := e.live
 	l.updateMu.Lock()
 	defer l.updateMu.Unlock()
+	if e.dur != nil {
+		if derr := e.dur.store.Err(); derr != nil {
+			// Fail-stop: an earlier WAL write failed; accepting this batch
+			// would let the served state outrun the recoverable one.
+			return fmt.Errorf("%w: %v", ErrDurability, derr)
+		}
+	}
 	start := time.Now()
 	res, err := l.maint.ApplyUpdateCtx(ctx, inserts, deletes, b.limits())
 	if err != nil {
 		// The maintainer rolled back; the serving sides were never touched.
 		return err
 	}
+	// Commit protocol with durability on: the batch is fsynced to the WAL
+	// after the maintainer accepted it (so a canceled or budget-tripped
+	// batch is never logged) and before it publishes (so recovery replays
+	// exactly the batches callers were acknowledged for). If the append
+	// fails, the batch is not published and the engine wedges mutations:
+	// the maintainer is one unacknowledged batch ahead of the sides, which
+	// is invisible to readers and absent after restart.
+	if e.dur != nil {
+		if derr := e.dur.logBatch(res); derr != nil {
+			return derr
+		}
+	}
 	// A batch that finishes propagation before the deadline publishes: the
 	// publish step replays already-computed removals and deltas and is not
 	// a cancellation point — aborting it would tear the left-right pair.
 	if err := e.publish(res); err != nil {
 		return err
+	}
+	if e.dur != nil {
+		e.dur.maybeCheckpoint(e)
 	}
 	baseNew, baseGone, retracted := 0, 0, 0
 	for _, tuples := range res.BaseInserted {

@@ -155,6 +155,56 @@ func New(base *storage.Database, views []*cq.Query, opt Options) (*Maintainer, e
 	return m, nil
 }
 
+// NewFromMaterialized rebuilds a Maintainer around an already-materialized
+// database — base relations plus every view extent, as recovered from a
+// durable snapshot — skipping the full evaluation New pays. baseline is
+// the deletion baseline exported by BaselineKeys on the maintainer that
+// produced db (nil when no view-named base facts existed). db is adopted
+// as the maintenance state: the caller must not mutate it afterwards.
+func NewFromMaterialized(db *storage.Database, views []*cq.Query, baseline map[string][]string, opt Options) (*Maintainer, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("ivm: empty view set")
+	}
+	prog := &datalog.Program{}
+	names := make(map[string]bool, len(views))
+	for _, v := range views {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("ivm: view %s: %w", v.Name(), err)
+		}
+		names[v.Name()] = true
+		prog.Rules = append(prog.Rules, datalog.RuleFromQuery(v))
+	}
+	if db == nil {
+		db = storage.NewDatabase()
+	}
+	// An extent that materialized empty may be absent from the snapshot
+	// reader's database; the maintainer needs the relation to exist so
+	// delta propagation has somewhere to land.
+	for _, v := range views {
+		if db.Relation(v.Name()) == nil {
+			if _, err := db.Ensure(v.Name(), v.Arity()); err != nil {
+				return nil, fmt.Errorf("ivm: %w", err)
+			}
+		}
+	}
+	cp, err := datalog.CompileProgramIVM(prog, cost.NewCatalog(db))
+	if err != nil {
+		return nil, fmt.Errorf("ivm: %w", err)
+	}
+	db.BuildIndexes()
+	m := &Maintainer{views: views, viewNames: names, cp: cp, st: cp.RestoreMaintState(baseline), db: db, opt: opt}
+	if opt.Shards > 1 {
+		m.pdb = storage.Partition(db, opt.Shards, cost.NewCatalog(db).PartitionColumns(nil))
+		m.pdb.BuildIndexes()
+	}
+	return m, nil
+}
+
+// BaselineKeys exports the maintainer's deletion baseline for persistence;
+// feed it back to NewFromMaterialized when rebuilding from a snapshot of
+// Database().
+func (m *Maintainer) BaselineKeys() map[string][]string { return m.st.BaselineKeys() }
+
 // Views returns the maintained view definitions.
 func (m *Maintainer) Views() []*cq.Query { return m.views }
 

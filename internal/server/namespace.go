@@ -60,6 +60,19 @@ type Config struct {
 	// SessionTTLMS expires idle handles (default 15 minutes).
 	MaxSessions  int `json:"max_sessions,omitempty"`
 	SessionTTLMS int `json:"session_ttl_ms,omitempty"`
+	// DataDir enables durable storage (snapshot + WAL) rooted at the given
+	// directory; the engine recovers from it at startup and checkpoints on
+	// Close. Relative paths resolve against the daemon's working directory.
+	DataDir string `json:"data_dir,omitempty"`
+	// SnapshotWALBytes is the WAL size that triggers a background
+	// checkpoint (0 = 64 MiB default, negative = never).
+	SnapshotWALBytes int64 `json:"snapshot_wal_bytes,omitempty"`
+	// WALNoSync skips the per-batch fsync, trading crash durability of the
+	// latest batches for update throughput.
+	WALNoSync bool `json:"wal_no_sync,omitempty"`
+	// Logf receives engine warnings (stale snapshots, failed background
+	// checkpoints). Not settable from config.json; the daemon injects it.
+	Logf func(format string, args ...any) `json:"-"`
 }
 
 // budget assembles the namespace's default per-request budget.
@@ -84,6 +97,11 @@ func (c Config) options() (engine.Options, error) {
 		MaxConcurrent: c.MaxConcurrent,
 		MaxQueue:      c.MaxQueue,
 		QueueTimeout:  time.Duration(c.QueueTimeoutMS) * time.Millisecond,
+
+		DataDir:          c.DataDir,
+		SnapshotWALBytes: c.SnapshotWALBytes,
+		WALNoSync:        c.WALNoSync,
+		Logf:             c.Logf,
 	}
 	if c.Strategy != "" {
 		s, err := engine.ParseStrategy(c.Strategy)
@@ -165,6 +183,21 @@ func (r *Registry) Get(name string) (*Namespace, bool) {
 	return ns, ok
 }
 
+// Close closes every namespace engine: durable ones checkpoint their
+// state and release their stores, memory-only ones no-op. Every engine is
+// closed even when one fails; the first error wins.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, ns := range r.m {
+		if err := ns.Engine.Close(); err != nil && first == nil {
+			first = fmt.Errorf("namespace %s: %w", ns.Name, err)
+		}
+	}
+	return first
+}
+
 // Names lists the registered namespaces, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
@@ -186,11 +219,26 @@ const (
 	configFile = "config.json"
 )
 
+// DirOptions customizes LoadDir beyond what per-namespace config files
+// express.
+type DirOptions struct {
+	// DataRoot roots durable storage: a namespace whose config.json does
+	// not set data_dir persists under DataRoot/<name>. Empty leaves
+	// namespaces memory-only unless their config says otherwise.
+	DataRoot string
+	// Logf receives engine warnings (stale snapshots, failed background
+	// checkpoints) for every loaded namespace.
+	Logf func(format string, args ...any)
+}
+
 // LoadDir builds a registry from a config directory: every subdirectory
 // containing a views.dl becomes a namespace named after it. A directory
 // with no loadable namespace is an error — a server with nothing to serve
 // is a misconfiguration worth failing loudly on.
-func LoadDir(dir string) (*Registry, error) {
+func LoadDir(dir string) (*Registry, error) { return LoadDirWith(dir, DirOptions{}) }
+
+// LoadDirWith is LoadDir with daemon-injected options.
+func LoadDirWith(dir string, o DirOptions) (*Registry, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: config dir: %w", err)
@@ -204,7 +252,7 @@ func LoadDir(dir string) (*Registry, error) {
 		if _, err := os.Stat(filepath.Join(nsDir, viewsFile)); errors.Is(err, os.ErrNotExist) {
 			continue
 		}
-		ns, err := loadNamespace(e.Name(), nsDir)
+		ns, err := loadNamespace(e.Name(), nsDir, o)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +267,7 @@ func LoadDir(dir string) (*Registry, error) {
 }
 
 // loadNamespace reads one namespace directory.
-func loadNamespace(name, dir string) (*Namespace, error) {
+func loadNamespace(name, dir string, o DirOptions) (*Namespace, error) {
 	viewsSrc, err := os.ReadFile(filepath.Join(dir, viewsFile))
 	if err != nil {
 		return nil, fmt.Errorf("namespace %s: %w", name, err)
@@ -249,6 +297,12 @@ func loadNamespace(name, dir string) (*Namespace, error) {
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("namespace %s: %w", name, err)
+	}
+	if cfg.DataDir == "" && o.DataRoot != "" {
+		cfg.DataDir = filepath.Join(o.DataRoot, name)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = o.Logf
 	}
 	return NewNamespace(name, base, views, cfg)
 }
